@@ -1,0 +1,195 @@
+"""Lemma 6 / Theorem 10: quantum query accounting.
+
+Measured: (a) the Durr-Hoyer simulator's actual query counts scale like
+sqrt(N) and its failure rate stays below the configured epsilon; (b) the
+exact-mode ledger charges of a full OptOBDD run match the sqrt-binomial
+model of the recurrence (5)-(7); (c) quantum-vs-classical evaluation
+counts per minimum-finding call (the quadratic win the speedup rests on).
+"""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from conftest import print_table
+
+from repro.analysis.complexity import fit_growth_rate
+from repro.core import opt_obdd, run_fs
+from repro.quantum import (
+    QuantumMinimumFinder,
+    QueryLedger,
+    durr_hoyer,
+    lemma6_query_bound,
+)
+from repro.truth_table import TruthTable
+
+
+def dh_sweep():
+    sizes = [8, 16, 32, 64, 128, 256, 512]
+    rows = []
+    for size in sizes:
+        rnd = random.Random(size)
+        values = [rnd.randint(0, 10 * size) for _ in range(size)]
+        queries = []
+        failures = 0
+        for trial in range(40):
+            out = durr_hoyer(values, rng=random.Random(trial), epsilon=0.05)
+            queries.append(out.queries)
+            failures += not out.succeeded
+        rows.append((size, statistics.mean(queries), failures / 40))
+    return rows
+
+
+def test_durr_hoyer_sqrt_scaling(benchmark):
+    rows = benchmark.pedantic(dh_sweep, rounds=1, iterations=1)
+    display = [
+        (n, f"{mean:.1f}", f"{mean / math.sqrt(n):.2f}", f"{fail:.3f}")
+        for n, mean, fail in rows
+    ]
+    print_table(
+        "Durr-Hoyer simulation: mean queries vs sqrt(N), failure rate @ eps=0.05",
+        ["N", "mean queries", "queries / sqrt(N)", "failure rate"],
+        display,
+    )
+    ns = [row[0] for row in rows]
+    means = [row[1] for row in rows]
+    # log-log slope ~ 0.5 => base growth per doubling ~ sqrt(2)
+    ratios = [b / a for a, b in zip(means, means[1:])]
+    assert statistics.mean(ratios) == pytest.approx(math.sqrt(2), rel=0.3)
+    for _, _, failure in rows:
+        assert failure <= 0.05 + 0.05  # epsilon plus sampling slack
+
+
+def test_lemma6_charge_matches_model(benchmark):
+    def charges():
+        out = []
+        for exponent in range(3, 11):
+            n = 1 << exponent
+            ledger = QueryLedger()
+            ledger.charge_minimum_finding(n, 1e-6)
+            out.append((n, ledger.total))
+        return out
+
+    rows = benchmark.pedantic(charges, rounds=1, iterations=1)
+    base, _ = fit_growth_rate(
+        [math.log2(n) for n, _ in rows], [q for _, q in rows]
+    )
+    print_table(
+        "Lemma 6 ledger: charge vs sqrt(N log 1/eps)",
+        ["N", "charged", "model"],
+        [(n, q, f"{lemma6_query_bound(n, 1e-6):.1f}") for n, q in rows],
+    )
+    # doubling N multiplies the charge by ~sqrt(2)
+    assert base == pytest.approx(math.sqrt(2), rel=0.05)
+
+
+def expected_opt_obdd_queries(n: int, epsilon: float) -> float:
+    """Closed-form ledger total for the exact-mode OptOBDD recursion.
+
+    Mirrors the recursion: at stage ``t`` the finder searches
+    ``C(|L|, levels[t-1])`` candidates (one Lemma 6 charge), and each of
+    those candidates plus the winner's recomputation recurses one stage
+    down; stage 0 reads the preprocessed table without queries.
+    """
+    from repro.core import THEOREM10_ALPHAS, effective_levels
+
+    levels = effective_levels(n, THEOREM10_ALPHAS)
+
+    def total(t: int, size_l: int) -> float:
+        if t == 0 or not levels:
+            return 0.0
+        candidates = math.comb(size_l, levels[t - 1])
+        charge = math.ceil(math.sqrt(candidates * math.log(1.0 / epsilon)))
+        return charge + (candidates + 1) * total(t - 1, levels[t - 1])
+
+    return total(len(levels), n)
+
+
+def test_opt_obdd_query_accounting(benchmark):
+    ns = [5, 6, 7, 8, 9]
+    epsilon = 1e-6
+
+    def sweep():
+        from repro.analysis.counters import OperationCounters
+
+        rows = []
+        for n in ns:
+            table = TruthTable.random(n, seed=n)
+            ledger = QueryLedger()
+            counters = OperationCounters()
+            finder = QuantumMinimumFinder(
+                ledger=ledger, epsilon=epsilon, rng=random.Random(n),
+                counters=counters,
+            )
+            result = opt_obdd(table, finder=finder, counters=counters)
+            assert result.mincost == run_fs(table).mincost
+            rows.append((n, ledger.total, expected_opt_obdd_queries(n, epsilon),
+                         result.counters.classical_evaluations))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "OptOBDD (simulated quantum): ledger charges per n",
+        ["n", "modeled queries", "closed-form model",
+         "classical evals (sim overhead)"],
+        rows,
+    )
+    for n, queries, model, evaluations in rows:
+        # measured ledger equals the closed-form recursion exactly
+        assert queries == model
+    # At the small n a classical simulation can reach, the sqrt(log 1/eps)
+    # constant still dominates (queries may exceed the classical scan);
+    # the per-call quadratic advantage at realistic N is asserted in
+    # test_quantum_vs_classical_eval_ratio below.
+
+
+def test_statevector_grounds_closed_form(benchmark):
+    # The deepest layer of the substitution: explicit unitary dynamics vs
+    # the sin^2((2j+1) theta) closed form the DH simulator samples from.
+    from repro.quantum import measured_success_probability, success_probability
+
+    def grid():
+        rows = []
+        for num_items, num_marked in ((16, 1), (32, 3), (64, 1), (64, 8)):
+            worst = 0.0
+            for iterations in range(8):
+                measured = measured_success_probability(
+                    num_items, list(range(num_marked)), iterations
+                )
+                formula = success_probability(num_items, num_marked, iterations)
+                worst = max(worst, abs(measured - formula))
+            rows.append((num_items, num_marked, f"{worst:.2e}"))
+        return rows
+
+    rows = benchmark.pedantic(grid, rounds=1, iterations=1)
+    print_table(
+        "Statevector Grover vs closed form: max |deviation| over j=0..7",
+        ["N", "marked", "max deviation"],
+        rows,
+    )
+    for _, _, deviation in rows:
+        assert float(deviation) < 1e-9
+
+
+def test_quantum_vs_classical_eval_ratio(benchmark):
+    # Per-call comparison at growing N: ledger charge / N -> 0 like
+    # 1/sqrt(N), the quadratic speedup in its purest form.
+    def ratios():
+        out = []
+        for exponent in (4, 6, 8, 10, 12):
+            n = 1 << exponent
+            charge = lemma6_query_bound(n, 1e-6)
+            out.append((n, charge / n))
+        return out
+
+    rows = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    print_table(
+        "Quantum advantage per minimum-finding call",
+        ["N", "modeled queries / classical evals"],
+        [(n, f"{r:.4f}") for n, r in rows],
+    )
+    values = [r for _, r in rows]
+    assert values == sorted(values, reverse=True)
+    assert values[-1] < values[0] / 10

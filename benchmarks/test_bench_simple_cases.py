@@ -1,0 +1,94 @@
+"""Section 3.1 / Appendix B: the simple-case exponent chain.
+
+Paper claims: gamma_0 = 2.98581 (single split, no preprocessing),
+gamma_1 = 2.97625 (with FS* preprocessing), gamma_2 = 2.8569 (two
+division points, Appendix B) — each strictly improving, all below the
+classical 3.  Also evaluates the Theorem 10 time model (recurrence
+(5)-(7)) with exact binomials to show the same ordering holds at finite n,
+not just asymptotically.
+"""
+
+import math
+
+import pytest
+
+from conftest import print_table
+
+from repro.analysis.complexity import theorem10_time_model, theorem5_bound
+from repro.analysis.parameters import (
+    gamma0,
+    gamma1,
+    gamma2_appendix_b,
+    solve_parameters,
+)
+
+
+def test_simple_case_chain(benchmark):
+    def solve_all():
+        g0, a0 = gamma0()
+        g1, a1 = gamma1()
+        g2, b1, b2 = gamma2_appendix_b()
+        g6 = solve_parameters(6, 3.0).base
+        return g0, a0, g1, a1, g2, (b1, b2), g6
+
+    g0, a0, g1, a1, g2, (b1, b2), g6 = benchmark(solve_all)
+    print_table(
+        "Section 3.1 simple cases (measured vs paper)",
+        ["case", "base (ours)", "base (paper)", "alphas"],
+        [
+            ("classical FS", "3.00000", "3", "-"),
+            ("gamma_0 (no preprocess)", f"{g0:.5f}", "2.98581", f"{a0:.6f}"),
+            ("gamma_1 (preprocess)", f"{g1:.5f}", "2.97625", f"{a1:.6f}"),
+            ("gamma_2 (App. B)", f"{g2:.5f}", "2.8569", f"{b1:.6f} {b2:.6f}"),
+            ("gamma_6 (Table 1)", f"{g6:.5f}", "2.83728", "-"),
+        ],
+    )
+    assert g0 == pytest.approx(2.98581, abs=5e-6)
+    assert g1 == pytest.approx(2.97625, abs=5e-6)
+    assert g2 == pytest.approx(2.8569, abs=5e-5)
+    assert 3.0 > g0 > g1 > g2 > g6
+
+
+def test_theorem10_model_beats_classical_at_finite_n(benchmark):
+    alphas = (0.183791, 0.183802, 0.183974, 0.186131, 0.206480, 0.343573)
+
+    def sweep():
+        rows = []
+        for n in (20, 40, 60, 80, 120, 200):
+            model = theorem10_time_model(n, alphas)
+            rows.append((n, model["total"], theorem5_bound(n)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Theorem 10 time model vs classical 3^n (exact binomials)",
+        ["n", "quantum model", "classical 3^n", "ratio"],
+        [
+            (n, f"{q:.3e}", f"{c:.3e}", f"{q / c:.3e}")
+            for n, q, c in rows
+        ],
+    )
+    ratios = [q / c for _, q, c in rows]
+    # Shape: polynomial constants lose at small n (level rounding makes
+    # the small-n ratios non-monotone), the exponential advantage takes
+    # over by n ~ 60, and the gap then widens without bound.
+    assert ratios[2] < 1.0  # crossover at or before n = 60
+    assert ratios[2:] == sorted(ratios[2:], reverse=True)
+    assert ratios[-1] < 1e-3
+
+
+def test_preprocess_balance_point(benchmark):
+    # At the optimal alpha_1 the preprocessing and search terms of the
+    # gamma_1 analysis balance (that is how the equation was derived);
+    # verify numerically via the exponents.
+    from repro.analysis.entropy import binary_entropy as H
+
+    def exponents():
+        _, alpha = gamma1()
+        lhs = (1 - alpha) + H(alpha)
+        rhs = 0.5 * H(alpha) + (1 - alpha) * math.log2(3)
+        return lhs, rhs
+
+    lhs, rhs = benchmark(exponents)
+    print(f"\npreprocess exponent {lhs:.8f} == search exponent {rhs:.8f}")
+    assert lhs == pytest.approx(rhs, abs=1e-10)

@@ -1,0 +1,50 @@
+"""Table 1 (Appendix C): gamma_k and optimal alphas of OptOBDD(k, alpha).
+
+Paper claim: solving the system (8)-(9) with the classical FS* subroutine
+(base 3) yields gamma_1..gamma_6 = 2.97625, 2.85690, 2.83925, 2.83744,
+2.83729, 2.83728 with the printed alpha vectors.  We re-derive every row
+from the equations alone (no paper constants enter the solver).
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.analysis.parameters import solve_table1
+
+PAPER_TABLE1 = {
+    1: (2.97625, (0.274862,)),
+    2: (2.85690, (0.192754, 0.334571)),
+    3: (2.83925, (0.184664, 0.205128, 0.342677)),
+    4: (2.83744, (0.183859, 0.186017, 0.206375, 0.343503)),
+    5: (2.83729, (0.183795, 0.183967, 0.186125, 0.206474, 0.343569)),
+    6: (2.83728, (0.183791, 0.183802, 0.183974, 0.186131, 0.206480, 0.343573)),
+}
+
+
+def test_table1_rederivation(benchmark):
+    rows = benchmark(solve_table1, 6)
+    display = []
+    for row in rows:
+        paper_gamma, paper_alphas = PAPER_TABLE1[row.k]
+        display.append((
+            row.k,
+            f"{row.base:.5f}",
+            f"{paper_gamma:.5f}",
+            " ".join(f"{a:.6f}" for a in row.alphas),
+            " ".join(f"{a:.6f}" for a in paper_alphas),
+        ))
+    print_table(
+        "Table 1: gamma_k and alpha vectors (measured vs paper)",
+        ["k", "gamma (ours)", "gamma (paper)", "alphas (ours)", "alphas (paper)"],
+        display,
+    )
+    for row in rows:
+        paper_gamma, paper_alphas = PAPER_TABLE1[row.k]
+        # 2e-5 absolute on gamma (the paper's k=2 entry is off by one in
+        # its last printed digit; see tests/test_analysis_parameters.py).
+        assert row.base == pytest.approx(paper_gamma, abs=2e-5)
+        for ours, theirs in zip(row.alphas, paper_alphas):
+            assert ours == pytest.approx(theirs, abs=2e-6)
+    # headline: quantum divide-and-conquer beats classical 3^n
+    assert rows[-1].base < 3.0

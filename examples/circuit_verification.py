@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Formal verification scenario: adder equivalence checking with OBDDs.
+
+The VLSI-design use case the paper's introduction motivates: two
+implementations of the same arithmetic function are equivalent iff their
+canonical OBDDs coincide.  We build a gate-level ripple-carry adder
+(Corollary 2: circuits are valid inputs), compare it against the
+behavioural specification, then use the exact optimizer to pick the
+cheapest ordering for the equivalence check — and show how much a naive
+ordering costs.
+
+Run:  python examples/circuit_verification.py
+"""
+
+from repro import BDD, find_optimal_ordering, obdd_size, to_truth_table
+from repro.expr import ripple_carry_adder_circuit
+from repro.functions import adder_bit
+
+
+def main() -> None:
+    bits = 3
+    print(f"verifying a {bits}-bit ripple-carry adder, bit by bit\n")
+
+    for output in range(bits + 1):
+        # Gate-level implementation (netlist) vs behavioural spec.
+        circuit = ripple_carry_adder_circuit(bits, output)
+        implementation = to_truth_table(circuit)
+        specification = adder_bit(bits, output)
+
+        # Canonical-OBDD equivalence: same manager, same ordering ->
+        # equivalent functions get the same node id.
+        manager = BDD(2 * bits)
+        impl_root = manager.from_truth_table(implementation)
+        spec_root = manager.from_truth_table(specification)
+        verdict = "EQUIVALENT" if impl_root == spec_root else "MISMATCH"
+
+        # Ordering quality for this output bit.
+        result = find_optimal_ordering(specification)
+        separated = list(range(2 * bits))  # a0..a2 then b0..b2
+        interleaved = [v for i in range(bits) for v in (i, i + bits)]
+        print(f"sum bit {output}: {verdict}")
+        print(f"  OBDD size, operands separated : "
+              f"{obdd_size(specification, separated)}")
+        print(f"  OBDD size, operands interleaved: "
+              f"{obdd_size(specification, interleaved)}")
+        print(f"  OBDD size, certified optimal   : {result.size} "
+              f"(order {result.order})")
+        assert impl_root == spec_root
+
+    # Inject a bug and show the check catches it.
+    print("\ninjecting a bug (xor gate swapped for or) ...")
+    buggy = ripple_carry_adder_circuit(bits, 1)
+    buggy.gates[2] = type(buggy.gates[2])("or", buggy.gates[2].output,
+                                          buggy.gates[2].inputs)
+    manager = BDD(2 * bits)
+    buggy_root = manager.from_truth_table(to_truth_table(buggy))
+    spec_root = manager.from_truth_table(adder_bit(bits, 1))
+    assert buggy_root != spec_root
+    # A counterexample falls out of the XOR of the two diagrams.
+    difference = manager.apply_xor(buggy_root, spec_root)
+    witness = next(manager.sat_iter(difference))
+    a = sum(witness[i] << i for i in range(bits))
+    b = sum(witness[i + bits] << i for i in range(bits))
+    print(f"bug detected; counterexample: a={a}, b={b} "
+          f"(spec bit {(a + b >> 1) & 1}, buggy circuit "
+          f"{to_truth_table(buggy).evaluate_packed(a | (b << bits))})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Symbolic model checking: reachability and a safety proof with OBDDs.
+
+The verification workload that made OBDDs famous: encode a protocol's
+states as bit vectors, its transitions as a relation over
+(current, next) variables, and compute the reachable states as a fixpoint
+of symbolic image steps.  We verify mutual exclusion for a two-process
+lock protocol, then feed the reachable-set function to the exact
+optimizer — tying the verification substrate back to the paper's
+ordering problem.
+
+Run:  python examples/model_checking.py
+"""
+
+from repro import run_fs
+from repro.bdd.symbolic import TransitionSystem
+
+# --- a tiny two-process mutual-exclusion protocol --------------------
+# State bits: [p0 wants, p0 critical, p1 wants, p1 critical, turn]
+W0, C0, W1, C1, TURN = range(5)
+
+
+def encode(w0, c0, w1, c1, turn):
+    return w0 | (c0 << 1) | (w1 << 2) | (c1 << 3) | (turn << 4)
+
+
+def successors(state):
+    w0 = state & 1
+    c0 = (state >> 1) & 1
+    w1 = (state >> 2) & 1
+    c1 = (state >> 3) & 1
+    turn = (state >> 4) & 1
+    out = []
+    # process 0: request / enter (if its turn and free) / leave
+    if not w0 and not c0:
+        out.append(encode(1, 0, w1, c1, turn))
+    if w0 and not c0 and not c1 and turn == 0:
+        out.append(encode(0, 1, w1, c1, turn))
+    if c0:
+        out.append(encode(0, 0, w1, c1, 1))  # pass the turn
+    # process 1 symmetrically
+    if not w1 and not c1:
+        out.append(encode(w0, c0, 1, 0, turn))
+    if w1 and not c1 and not c0 and turn == 1:
+        out.append(encode(w0, c0, 0, 1, turn))
+    if c1:
+        out.append(encode(w0, c0, 0, 0, 0))
+    return out
+
+
+def main() -> None:
+    bits = 5
+    system = TransitionSystem.from_successor_function(bits, successors)
+    initial = [encode(0, 0, 0, 0, 0)]
+
+    result = system.reachable(initial)
+    print(f"protocol state space : 2^{bits} = {1 << bits} encodings")
+    print(f"reachable states     : {result.num_states} "
+          f"in {result.iterations} image steps")
+    print(f"frontier BDD sizes   : {result.frontier_sizes}")
+
+    # --- safety: both processes critical simultaneously?
+    violations = [
+        encode(w0, 1, w1, 1, turn)
+        for w0 in (0, 1) for w1 in (0, 1) for turn in (0, 1)
+    ]
+    safe = not system.can_reach(initial, violations)
+    print(f"mutual exclusion     : {'PROVED' if safe else 'VIOLATED'}")
+    assert safe
+
+    # --- liveness-ish sanity: each process can reach its critical section
+    p0_critical = [s for s in range(1 << bits) if (s >> 1) & 1]
+    p1_critical = [s for s in range(1 << bits) if (s >> 3) & 1]
+    print(f"p0 can enter         : {system.can_reach(initial, p0_critical)}")
+    print(f"p1 can enter         : {system.can_reach(initial, p1_critical)}")
+
+    # --- and back to the paper: order the reachable-set function optimally
+    table = system.reachable_set_table(initial)
+    exact = run_fs(table)
+    natural = sum(
+        __import__("repro.truth_table", fromlist=["count_subfunctions"])
+        .count_subfunctions(table, list(range(bits)))
+    )
+    print(f"\nreachable-set OBDD   : {natural} nodes under the natural order,"
+          f" {exact.mincost} under the certified optimum {exact.order}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The quantum algorithm end to end (simulated), with query accounting.
+
+Runs the paper's OptOBDD(k, alpha) divide-and-conquer with the simulated
+Durr-Hoyer minimum finder, shows the modeled quantum query ledger, the
+iterated-composition constant of Theorem 13, and the failure behaviour of
+the sampled dynamics (Theorem 1: output always valid, minimum w.h.p.).
+
+No quantum hardware is involved — see DESIGN.md's substitution table.
+
+Run:  python examples/quantum_ordering.py
+"""
+
+import random
+
+from repro import (
+    QuantumMinimumFinder,
+    QueryLedger,
+    TruthTable,
+    opt_obdd,
+    run_fs,
+    solve_table2,
+)
+from repro.quantum import durr_hoyer
+
+
+def main() -> None:
+    n = 8
+    table = TruthTable.random(n, seed=42)
+    reference = run_fs(table)
+    print(f"random function on {n} variables; certified minimum OBDD: "
+          f"{reference.size} nodes\n")
+
+    # --- exact-mode simulation: true answers + Lemma 6 query accounting
+    from repro import OperationCounters
+
+    counters = OperationCounters()
+    ledger = QueryLedger()
+    finder = QuantumMinimumFinder(ledger=ledger, epsilon=1e-9,
+                                  rng=random.Random(0), counters=counters)
+    result = opt_obdd(table, finder=finder, counters=counters)
+    assert result.mincost == reference.mincost
+    print("OptOBDD (simulated quantum, exact mode):")
+    print(f"  division levels used: {result.levels}")
+    print(f"  minimum found: {result.size} nodes, order {result.order}")
+    print(f"  modeled quantum queries: {ledger.total:.0f} "
+          f"over {ledger.invocations} minimum-finding calls")
+    print(f"  classical evaluations the simulator performed: "
+          f"{result.counters.classical_evaluations} "
+          "(simulation overhead, not charged)\n")
+
+    # --- sampled mode: actual Durr-Hoyer dynamics, can fail
+    print("sampled Durr-Hoyer dynamics (20 runs @ eps=0.01/call):")
+    hits = 0
+    for trial in range(20):
+        sampled = QuantumMinimumFinder(epsilon=0.01, mode="sampled",
+                                       rng=random.Random(trial))
+        out = opt_obdd(table, finder=sampled)
+        hits += out.mincost == reference.mincost
+    print(f"  found the true minimum in {hits}/20 runs "
+          "(always a valid OBDD either way)\n")
+
+    # --- raw minimum finding: sqrt(N) query scaling
+    print("Durr-Hoyer query scaling (mean of 30 sims):")
+    print(f"{'N':>6} {'queries':>9} {'q/sqrt(N)':>10}")
+    for exponent in (4, 6, 8, 10):
+        size = 1 << exponent
+        rnd = random.Random(size)
+        values = [rnd.randint(0, 10 * size) for _ in range(size)]
+        mean = sum(
+            durr_hoyer(values, rng=random.Random(t), epsilon=0.05).queries
+            for t in range(30)
+        ) / 30
+        print(f"{size:>6} {mean:>9.1f} {mean / size ** 0.5:>10.2f}")
+
+    # --- Theorem 13: the composition fixed point
+    print("\niterated composition (Table 2): exponent base per level")
+    for i, row in enumerate(solve_table2(10)):
+        print(f"  level {i + 1}: {row.gamma_subroutine:.5f} -> {row.base:.5f}")
+    print("final constant (Theorem 13): <= 2.77286")
+
+
+if __name__ == "__main__":
+    main()

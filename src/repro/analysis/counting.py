@@ -1,0 +1,109 @@
+"""The counting argument: almost every function needs exponential OBDDs.
+
+The paper's related-work section recalls that "there exists a function for
+which the OBDD size grows exponentially in the number of variables under
+any variable ordering", provable "by a counting argument" [Lee59, HC92,
+HM94].  This module carries that argument out with explicit constants:
+
+* :func:`log2_functions_with_at_most` — a sound upper bound on how many
+  ``n``-variable functions admit an OBDD with at most ``s`` internal
+  nodes under *some* ordering (each node chooses a variable and two
+  successors; orderings contribute ``n!``);
+* :func:`exponential_necessity_threshold` — the largest ``s`` for which
+  that count stays below ``2^{2^n}``, certifying a function needing more
+  than ``s`` nodes under **every** ordering (grows like ``2^n / n``);
+* :func:`max_profile` / :func:`max_obdd_nodes` — the per-level width caps
+  ``min(2^k, #dependent functions below)``, i.e. the largest any reduced
+  OBDD can possibly be;
+* :func:`fraction_of_easy_functions_bound` — an upper bound on the
+  fraction of functions whose optimal OBDD has at most ``s`` nodes.
+
+The bench pairs these with measurements: optimal sizes of random
+functions concentrate against the :func:`max_obdd_nodes` ceiling, exactly
+as the argument predicts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..errors import DimensionError
+
+
+def max_profile(n: int) -> List[int]:
+    """Per-level width caps for any reduced OBDD on ``n`` variables.
+
+    Width at level ``k`` (k variables already read) is at most ``2^k``
+    (distinct prefixes) and at most the number of functions of the
+    remaining ``n - k`` variables that depend on their first variable,
+    ``2^{2^{n-k}} - 2^{2^{n-k-1}}``.
+    """
+    if n < 0:
+        raise DimensionError("n must be non-negative")
+    widths = []
+    for k in range(n):
+        remaining = n - k
+        dependent = (1 << (1 << remaining)) - (1 << (1 << (remaining - 1)))
+        widths.append(min(1 << k, dependent))
+    return widths
+
+
+def max_obdd_nodes(n: int, include_terminals: bool = True) -> int:
+    """The largest possible reduced-OBDD size on ``n`` variables."""
+    internal = sum(max_profile(n))
+    return internal + (2 if include_terminals else 0)
+
+
+def log2_functions_with_at_most(n: int, s: int) -> float:
+    """``log2`` upper bound on #functions with an OBDD of ``<= s``
+    internal nodes under some ordering.
+
+    A diagram with ``s`` nodes is described by, per node, a variable
+    (``n`` choices) and two successors (``<= s + 2`` choices each); the
+    root is one of ``s + 2`` ids, and any of ``n!`` orderings may be the
+    good one.  Crude but sound — every such function is obtained from at
+    least one such description.
+    """
+    if s < 0:
+        raise DimensionError("s must be non-negative")
+    if s == 0:
+        # Only functions of no essential variable fit: the two constants
+        # (times the ordering slack, harmless for an upper bound).
+        return math.log2(math.factorial(n)) + 1 if n else 1
+    return (
+        math.log2(math.factorial(n))
+        + s * math.log2(n if n else 1)
+        + 2 * s * math.log2(s + 2)
+        + math.log2(s + 2)
+    )
+
+
+def exponential_necessity_threshold(n: int) -> int:
+    """Largest ``s`` with ``#{functions with <= s nodes} < 2^{2^n}``.
+
+    By pigeonhole, some ``n``-variable function has **no** OBDD with at
+    most ``s`` internal nodes under any ordering.  The threshold grows
+    like ``2^n / n`` (the classical Shannon-style rate).
+    """
+    if n < 1:
+        raise DimensionError("n must be positive")
+    target = float(1 << n)  # log2 of 2^{2^n}
+    low, high = 0, 1 << n
+    while low < high:
+        mid = (low + high + 1) // 2
+        if log2_functions_with_at_most(n, mid) < target:
+            low = mid
+        else:
+            high = mid - 1
+    return low
+
+
+def fraction_of_easy_functions_bound(n: int, s: int) -> float:
+    """Upper bound on the fraction of ``n``-variable functions whose
+    *optimal* OBDD has at most ``s`` internal nodes (may exceed 1 when
+    the bound is vacuous)."""
+    log2_fraction = log2_functions_with_at_most(n, s) - float(1 << n)
+    if log2_fraction >= 0:
+        return 1.0
+    return 2.0 ** log2_fraction

@@ -1,0 +1,38 @@
+"""Binary entropy and the binomial bounds used throughout the analysis.
+
+The paper's Preliminaries use ``C(n, k) <= 2^{n H(k/n)}`` (its Eq. on
+binomial coefficients) in every complexity derivation; these helpers are
+shared by the parameter solver and the complexity models.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def binary_entropy(delta: float) -> float:
+    """``H(delta) = -delta log2 delta - (1-delta) log2 (1-delta)``.
+
+    Defined by continuity as 0 at the endpoints.
+    """
+    if not 0.0 <= delta <= 1.0:
+        raise ValueError(f"entropy argument {delta} outside [0, 1]")
+    if delta in (0.0, 1.0):
+        return 0.0
+    return -delta * math.log2(delta) - (1.0 - delta) * math.log2(1.0 - delta)
+
+
+def binomial_entropy_bound(n: int, k: int) -> float:
+    """The upper bound ``2^{n H(k/n)}`` on ``C(n, k)``."""
+    if n == 0:
+        return 1.0
+    return 2.0 ** (n * binary_entropy(k / n))
+
+
+def log2_binomial(n: int, k: int) -> float:
+    """Exact ``log2 C(n, k)`` via lgamma (no overflow for large n)."""
+    if not 0 <= k <= n:
+        raise ValueError(f"k={k} out of range for n={n}")
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    ) / math.log(2.0)

@@ -1,0 +1,475 @@
+"""A reduced ordered BDD manager with the classic ITE-based operator kernel.
+
+This is the OBDD substrate the paper's algorithms sit on: unique-table
+canonicity (reduction rules 5(a)/5(b) of the paper's definition), Bryant's
+``apply``/``ite`` with operation caching, restriction, composition,
+quantification, satisfiability counting and enumeration.
+
+It is deliberately independent of the Friedman-Supowit dynamic program in
+:mod:`repro.core` — the tests use one to validate the other.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DimensionError, OrderingError
+from ..truth_table import TruthTable
+from .node import FALSE, TRUE, Node
+
+
+class BDD:
+    """Manager for reduced OBDDs over ``num_vars`` variables.
+
+    Parameters
+    ----------
+    num_vars:
+        Number of variables, indexed ``0 .. num_vars - 1``.
+    order:
+        Variable ordering: ``order[level]`` is the variable read at
+        ``level`` (level 0 is the root).  Defaults to the natural order.
+    """
+
+    def __init__(self, num_vars: int, order: Optional[Sequence[int]] = None) -> None:
+        if num_vars < 0:
+            raise DimensionError("num_vars must be non-negative")
+        if order is None:
+            order = list(range(num_vars))
+        order = list(order)
+        if sorted(order) != list(range(num_vars)):
+            raise OrderingError(f"{order!r} is not an ordering of range({num_vars})")
+        self.num_vars = num_vars
+        self.order: Tuple[int, ...] = tuple(order)
+        self._level_of: Dict[int, int] = {v: lv for lv, v in enumerate(order)}
+        # id -> Node for internal nodes; terminals are implicit.
+        self._nodes: Dict[int, Node] = {}
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._next_id = 2
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # construction primitives
+    # ------------------------------------------------------------------
+    @property
+    def false(self) -> int:
+        return FALSE
+
+    @property
+    def true(self) -> int:
+        return TRUE
+
+    def level_of_var(self, var: int) -> int:
+        """Level at which ``var`` is read."""
+        try:
+            return self._level_of[var]
+        except KeyError:
+            raise DimensionError(f"variable {var} out of range") from None
+
+    def level(self, u: int) -> int:
+        """Level of node ``u`` (terminals are at level ``num_vars``)."""
+        if u in (FALSE, TRUE):
+            return self.num_vars
+        return self._nodes[u].level
+
+    def node(self, u: int) -> Node:
+        """The :class:`Node` record of internal node ``u``."""
+        return self._nodes[u]
+
+    def is_terminal(self, u: int) -> bool:
+        return u in (FALSE, TRUE)
+
+    def make(self, level: int, lo: int, hi: int) -> int:
+        """Canonical node constructor (applies both reduction rules)."""
+        if lo == hi:  # reduction rule 5(a)
+            return lo
+        key = (level, lo, hi)
+        found = self._unique.get(key)
+        if found is not None:  # reduction rule 5(b)
+            return found
+        u = self._next_id
+        self._next_id += 1
+        self._nodes[u] = Node(level, self.order[level], lo, hi)
+        self._unique[key] = u
+        return u
+
+    def var(self, v: int) -> int:
+        """The diagram of the projection function ``f(x) = x_v``."""
+        return self.make(self.level_of_var(v), FALSE, TRUE)
+
+    def nvar(self, v: int) -> int:
+        """The diagram of ``f(x) = NOT x_v``."""
+        return self.make(self.level_of_var(v), TRUE, FALSE)
+
+    def constant(self, value: bool) -> int:
+        return TRUE if value else FALSE
+
+    # ------------------------------------------------------------------
+    # the ITE kernel and Boolean operators
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """``if f then g else h`` — the universal ternary operator."""
+        # Terminal cases.
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        found = self._ite_cache.get(key)
+        if found is not None:
+            return found
+        top = min(self.level(f), self.level(g), self.level(h))
+        f0, f1 = self._cofactors_at(f, top)
+        g0, g1 = self._cofactors_at(g, top)
+        h0, h1 = self._cofactors_at(h, top)
+        r = self.make(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._ite_cache[key] = r
+        return r
+
+    def _cofactors_at(self, u: int, level: int) -> Tuple[int, int]:
+        if self.level(u) != level:
+            return u, u
+        node = self._nodes[u]
+        return node.lo, node.hi
+
+    def apply_not(self, f: int) -> int:
+        return self.ite(f, FALSE, TRUE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_nand(self, f: int, g: int) -> int:
+        return self.apply_not(self.apply_and(f, g))
+
+    def apply_nor(self, f: int, g: int) -> int:
+        return self.apply_not(self.apply_or(f, g))
+
+    def apply_xnor(self, f: int, g: int) -> int:
+        return self.apply_not(self.apply_xor(f, g))
+
+    def apply_implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, TRUE)
+
+    def apply(self, op: str, f: int, g: int) -> int:
+        """Dispatch a named binary operator (``and``/``or``/``xor``/...)."""
+        table: Dict[str, Callable[[int, int], int]] = {
+            "and": self.apply_and,
+            "or": self.apply_or,
+            "xor": self.apply_xor,
+            "nand": self.apply_nand,
+            "nor": self.apply_nor,
+            "xnor": self.apply_xnor,
+            "implies": self.apply_implies,
+        }
+        try:
+            fn = table[op]
+        except KeyError:
+            raise ValueError(f"unknown operator {op!r}") from None
+        return fn(f, g)
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+    def restrict(self, u: int, var: int, value: int) -> int:
+        """The cofactor ``F(u)|_{x_var = value}`` (paper's ``f|_{x_i=b}``)."""
+        target = self.level_of_var(var)
+        cache: Dict[int, int] = {}
+
+        def walk(w: int) -> int:
+            if self.level(w) > target:
+                return w
+            found = cache.get(w)
+            if found is not None:
+                return found
+            node = self._nodes[w]
+            if node.level == target:
+                r = node.hi if value else node.lo
+            else:
+                r = self.make(node.level, walk(node.lo), walk(node.hi))
+            cache[w] = r
+            return r
+
+        return walk(u)
+
+    def compose(self, u: int, var: int, g: int) -> int:
+        """Substitute diagram ``g`` for variable ``var`` in ``u``."""
+        return self.ite(g, self.restrict(u, var, 1), self.restrict(u, var, 0))
+
+    def exists(self, u: int, variables: Sequence[int]) -> int:
+        """Existential quantification over ``variables``."""
+        r = u
+        for v in variables:
+            r = self.apply_or(self.restrict(r, v, 0), self.restrict(r, v, 1))
+        return r
+
+    def forall(self, u: int, variables: Sequence[int]) -> int:
+        """Universal quantification over ``variables``."""
+        r = u
+        for v in variables:
+            r = self.apply_and(self.restrict(r, v, 0), self.restrict(r, v, 1))
+        return r
+
+    def constrain(self, f: int, c: int) -> int:
+        """Coudert-Madre generalized cofactor ``f || c``.
+
+        Returns a diagram agreeing with ``f`` on every assignment where
+        ``c`` holds (a don't-care minimization primitive: outside ``c``
+        the result is unconstrained, often much smaller than ``f``).
+        Raises on ``c = FALSE`` (the classic operator is undefined there).
+        """
+        if c == FALSE:
+            raise ValueError("constrain is undefined for an empty care set")
+        cache: Dict[Tuple[int, int], int] = {}
+
+        def walk(fn: int, cn: int) -> int:
+            if cn == TRUE or fn in (FALSE, TRUE):
+                return fn
+            key = (fn, cn)
+            found = cache.get(key)
+            if found is not None:
+                return found
+            top = min(self.level(fn), self.level(cn))
+            c0, c1 = self._cofactors_at(cn, top)
+            f0, f1 = self._cofactors_at(fn, top)
+            if c0 == FALSE:
+                result = walk(f1, c1)
+            elif c1 == FALSE:
+                result = walk(f0, c0)
+            else:
+                result = self.make(top, walk(f0, c0), walk(f1, c1))
+            cache[key] = result
+            return result
+
+        return walk(f, c)
+
+    def support(self, u: int) -> List[int]:
+        """Variables appearing on some path from ``u``."""
+        seen = set()
+        variables = set()
+        stack = [u]
+        while stack:
+            w = stack.pop()
+            if w in seen or self.is_terminal(w):
+                continue
+            seen.add(w)
+            node = self._nodes[w]
+            variables.add(node.var)
+            stack.append(node.lo)
+            stack.append(node.hi)
+        return sorted(variables)
+
+    def reachable(self, u: int) -> List[int]:
+        """All node ids reachable from ``u`` (including terminals)."""
+        seen = set()
+        stack = [u]
+        while stack:
+            w = stack.pop()
+            if w in seen:
+                continue
+            seen.add(w)
+            if not self.is_terminal(w):
+                node = self._nodes[w]
+                stack.append(node.lo)
+                stack.append(node.hi)
+        return sorted(seen)
+
+    def size(self, u: int, include_terminals: bool = True) -> int:
+        """Node count of the diagram rooted at ``u``.
+
+        With ``include_terminals`` (the paper's Figure 1 convention) the
+        reachable terminals are counted too.
+        """
+        reach = self.reachable(u)
+        if include_terminals:
+            return len(reach)
+        return sum(1 for w in reach if not self.is_terminal(w))
+
+    def level_widths(self, u: int) -> List[int]:
+        """Number of nodes of the diagram rooted at ``u`` on each level."""
+        widths = [0] * self.num_vars
+        for w in self.reachable(u):
+            if not self.is_terminal(w):
+                widths[self._nodes[w].level] += 1
+        return widths
+
+    # ------------------------------------------------------------------
+    # evaluation / counting / enumeration
+    # ------------------------------------------------------------------
+    def evaluate(self, u: int, assignment: Sequence[int]) -> int:
+        """Evaluate the function at a full assignment (indexed by variable)."""
+        if len(assignment) != self.num_vars:
+            raise DimensionError(
+                f"expected {self.num_vars} values, got {len(assignment)}"
+            )
+        w = u
+        while not self.is_terminal(w):
+            node = self._nodes[w]
+            w = node.hi if assignment[node.var] else node.lo
+        return w
+
+    def shortest_sat(self, u: int) -> Optional[Tuple[int, ...]]:
+        """A satisfying assignment with the fewest variables set to 1.
+
+        The classic ``Cudd_ShortestPath`` query with unit weight on
+        1-edges: dynamic programming over the DAG.  Returns ``None`` for
+        the constant-0 function; unassigned (skipped) variables are 0.
+        """
+        if u == FALSE:
+            return None
+        best_cost: Dict[int, Optional[int]] = {TRUE: 0, FALSE: None}
+        choice: Dict[int, Optional[int]] = {}
+
+        def cost(w: int) -> Optional[int]:
+            if w in best_cost:
+                return best_cost[w]
+            node = self._nodes[w]
+            lo_cost = cost(node.lo)
+            hi_cost = cost(node.hi)
+            candidates = []
+            if lo_cost is not None:
+                candidates.append((lo_cost, 0))
+            if hi_cost is not None:
+                candidates.append((hi_cost + 1, 1))
+            if not candidates:
+                best_cost[w] = None
+                choice[w] = None
+                return None
+            value, branch = min(candidates)
+            best_cost[w] = value
+            choice[w] = branch
+            return value
+
+        if cost(u) is None:
+            return None
+        assignment = [0] * self.num_vars
+        w = u
+        while not self.is_terminal(w):
+            node = self._nodes[w]
+            branch = choice[w]
+            assignment[node.var] = branch
+            w = node.hi if branch else node.lo
+        return tuple(assignment)
+
+    def satcount(self, u: int) -> int:
+        """Number of satisfying assignments over all ``num_vars`` variables."""
+        cache: Dict[int, int] = {}
+
+        def walk(w: int) -> int:
+            # Returns count over variables strictly below w's level.
+            if w == FALSE:
+                return 0
+            if w == TRUE:
+                return 1
+            found = cache.get(w)
+            if found is not None:
+                return found
+            node = self._nodes[w]
+            total = 0
+            for child in (node.lo, node.hi):
+                skipped = self.level(child) - node.level - 1
+                total += walk(child) << skipped
+            cache[w] = total
+            return total
+
+        return walk(u) << self.level(u)
+
+    def sat_iter(self, u: int) -> Iterator[Tuple[int, ...]]:
+        """Yield every satisfying assignment as a tuple indexed by variable."""
+        if u == FALSE:
+            return
+
+        def expand(w: int, level: int):
+            # Yield partial assignments for levels level..num_vars-1.
+            if level == self.num_vars:
+                yield ()
+                return
+            if self.is_terminal(w) or self._nodes[w].level > level:
+                for rest in expand(w, level + 1):
+                    yield (0,) + rest
+                    yield (1,) + rest
+                return
+            node = self._nodes[w]
+            if node.lo != FALSE:
+                for rest in expand(node.lo, level + 1):
+                    yield (0,) + rest
+            if node.hi != FALSE:
+                for rest in expand(node.hi, level + 1):
+                    yield (1,) + rest
+
+        for by_level in expand(u, 0):
+            assignment = [0] * self.num_vars
+            for lv, value in enumerate(by_level):
+                assignment[self.order[lv]] = value
+            yield tuple(assignment)
+
+    def to_truth_table(self, u: int) -> TruthTable:
+        """Tabulate the function of node ``u`` over all variables."""
+        n = self.num_vars
+        values = np.zeros(1 << n, dtype=np.int64)
+        for a in range(1 << n):
+            bits = [(a >> i) & 1 for i in range(n)]
+            values[a] = self.evaluate(u, bits)
+        return TruthTable(n, values)
+
+    # ------------------------------------------------------------------
+    # bulk construction
+    # ------------------------------------------------------------------
+    def from_truth_table(self, table: TruthTable) -> int:
+        """Build the canonical reduced OBDD of ``table`` under this
+        manager's ordering and return its root id.
+
+        Construction is bottom-up over the manager's levels with
+        memoization keyed on restricted-truth-table contents, so the result
+        is reduced by construction.
+        """
+        if table.n != self.num_vars:
+            raise DimensionError(
+                f"table has {table.n} variables, manager has {self.num_vars}"
+            )
+        if self.num_vars == 0:
+            return TRUE if int(table.values[0]) else FALSE
+        # Permute so read order is most-significant-first: new var i = old
+        # var order[n-1-i]; then index prefix bits = earlier-read variables.
+        n = self.num_vars
+        g = table.permute(list(self.order)[::-1]).values
+
+        memo: Dict[Tuple[int, bytes], int] = {}
+
+        def build(level: int, chunk: np.ndarray) -> int:
+            if level == n:
+                return TRUE if int(chunk[0]) else FALSE
+            key = (level, chunk.tobytes())
+            found = memo.get(key)
+            if found is not None:
+                return found
+            half = chunk.shape[0] // 2
+            # Top bit of the chunk index = the variable read at `level`.
+            lo = build(level + 1, chunk[:half])
+            hi = build(level + 1, chunk[half:])
+            r = self.make(level, lo, hi)
+            memo[key] = r
+            return r
+
+        return build(0, g)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def num_nodes(self) -> int:
+        """Total internal nodes ever created in this manager."""
+        return len(self._nodes)
+
+    def clear_caches(self) -> None:
+        """Drop the operation cache (unique table is kept)."""
+        self._ite_cache.clear()

@@ -1,0 +1,38 @@
+"""Node records shared by the decision-diagram managers.
+
+All managers in :mod:`repro.bdd` address nodes by small integer ids.  Ids
+``0`` and ``1`` are reserved for the FALSE and TRUE terminals of Boolean
+diagrams (matching the paper's convention that "the pointers to the two
+terminal nodes ... are the integers 0 and 1"); multi-terminal diagrams
+allocate one terminal id per distinct function value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+FALSE = 0
+TRUE = 1
+
+
+@dataclass(frozen=True)
+class Node:
+    """An internal decision node.
+
+    Attributes
+    ----------
+    level:
+        Position in the variable ordering, ``0`` is the root level (read
+        first).  Terminals live at level ``n``.
+    var:
+        The variable index tested at this node.
+    lo:
+        Id of the 0-successor (the paper's ``u_0``).
+    hi:
+        Id of the 1-successor (the paper's ``u_1``).
+    """
+
+    level: int
+    var: int
+    lo: int
+    hi: int

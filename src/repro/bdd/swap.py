@@ -1,0 +1,347 @@
+"""In-place dynamic reordering: adjacent level swaps on a live node graph.
+
+The heuristics in :mod:`repro.bdd.reorder` evaluate candidate orderings by
+re-costing the truth table; production BDD packages instead *mutate* the
+diagram with adjacent level swaps (Rudell).  This module provides that
+substrate: a manager whose nodes store their variable (levels are derived
+from the manager's current order), an in-place :meth:`ReorderingBDD.swap`
+of two adjacent levels that touches only the affected nodes, and a real
+swap-based sifting implementation on top.
+
+Swapping adjacent variables never changes any represented function — only
+the diagram's shape — so external root handles stay valid across swaps.
+Uniqueness collisions during a swap (a rewritten node becoming equal to an
+existing one) are handled with forwarding entries that all traversals
+resolve and that :meth:`ReorderingBDD.collect` compacts away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import DimensionError, OrderingError
+from ..truth_table import TruthTable
+from .node import FALSE, TRUE
+
+_Triple = Tuple[int, int, int]  # (var, lo, hi)
+
+
+class ReorderingBDD:
+    """A reduced OBDD manager supporting in-place adjacent level swaps.
+
+    Node ids 0/1 are the F/T terminals.  Each internal node stores
+    ``(var, lo, hi)``; its level is ``position_of(var)`` in the manager's
+    current :attr:`order`.  Registered roots (see :meth:`protect`) survive
+    garbage collection and remain valid across swaps.
+    """
+
+    def __init__(self, num_vars: int, order: Optional[Sequence[int]] = None) -> None:
+        if num_vars < 0:
+            raise DimensionError("num_vars must be non-negative")
+        if order is None:
+            order = list(range(num_vars))
+        order = list(order)
+        if sorted(order) != list(range(num_vars)):
+            raise OrderingError(f"{order!r} is not an ordering of range({num_vars})")
+        self.num_vars = num_vars
+        self.order: List[int] = order
+        self._position: Dict[int, int] = {v: i for i, v in enumerate(order)}
+        self._nodes: Dict[int, _Triple] = {}
+        self._forward: Dict[int, int] = {}
+        self._unique: Dict[_Triple, int] = {}
+        self._next_id = 2
+        self._roots: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # id plumbing
+    # ------------------------------------------------------------------
+    def resolve(self, u: int) -> int:
+        """Follow forwarding chains (with path compression)."""
+        seen = []
+        while u in self._forward:
+            seen.append(u)
+            u = self._forward[u]
+        for s in seen:
+            self._forward[s] = u
+        return u
+
+    def is_terminal(self, u: int) -> bool:
+        return self.resolve(u) in (FALSE, TRUE)
+
+    def triple(self, u: int) -> _Triple:
+        return self._nodes[self.resolve(u)]
+
+    def var_of(self, u: int) -> int:
+        return self.triple(u)[0]
+
+    def level(self, u: int) -> int:
+        u = self.resolve(u)
+        if u in (FALSE, TRUE):
+            return self.num_vars
+        return self._position[self._nodes[u][0]]
+
+    def make(self, var: int, lo: int, hi: int) -> int:
+        """Canonical constructor (both OBDD reduction rules)."""
+        lo = self.resolve(lo)
+        hi = self.resolve(hi)
+        if lo == hi:
+            return lo
+        key = (var, lo, hi)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        u = self._next_id
+        self._next_id += 1
+        self._nodes[u] = key
+        self._unique[key] = u
+        return u
+
+    def var(self, v: int) -> int:
+        if not 0 <= v < self.num_vars:
+            raise DimensionError(f"variable {v} out of range")
+        return self.make(v, FALSE, TRUE)
+
+    # ------------------------------------------------------------------
+    # roots and garbage collection
+    # ------------------------------------------------------------------
+    def protect(self, u: int) -> int:
+        """Register ``u`` as a root; returns ``u`` for chaining."""
+        self._roots.add(u)
+        return u
+
+    def unprotect(self, u: int) -> None:
+        self._roots.discard(u)
+
+    def roots(self) -> List[int]:
+        return [self.resolve(r) for r in self._roots]
+
+    def reachable(self, sources: Optional[Iterable[int]] = None) -> Set[int]:
+        if sources is None:
+            sources = self.roots()
+        seen: Set[int] = set()
+        stack = [self.resolve(s) for s in sources]
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            if u not in (FALSE, TRUE):
+                _, lo, hi = self._nodes[u]
+                stack.append(self.resolve(lo))
+                stack.append(self.resolve(hi))
+        return seen
+
+    def collect(self) -> int:
+        """Garbage-collect: drop unreachable nodes, resolve all child
+        pointers, clear resolved forwards.  Returns nodes freed."""
+        live = self.reachable()
+        freed = 0
+        for u in list(self._nodes):
+            if u not in live:
+                key = self._nodes.pop(u)
+                if self._unique.get(key) == u:
+                    del self._unique[key]
+                freed += 1
+        # Rewrite children through forwards so stale ids can be dropped.
+        for u in list(self._nodes):
+            var, lo, hi = self._nodes[u]
+            rlo, rhi = self.resolve(lo), self.resolve(hi)
+            if (rlo, rhi) != (lo, hi):
+                old_key = (var, lo, hi)
+                if self._unique.get(old_key) == u:
+                    del self._unique[old_key]
+                self._nodes[u] = (var, rlo, rhi)
+                self._unique[(var, rlo, rhi)] = u
+        self._forward = {
+            s: t for s, t in self._forward.items() if s in self._roots
+        }
+        return freed
+
+    def size(self, include_terminals: bool = True) -> int:
+        """Diagram size over all protected roots."""
+        live = self.reachable()
+        internal = sum(1 for u in live if u not in (FALSE, TRUE))
+        if not include_terminals:
+            return internal
+        return internal + sum(1 for t in (FALSE, TRUE) if t in live)
+
+    def level_widths(self) -> List[int]:
+        widths = [0] * self.num_vars
+        for u in self.reachable():
+            if u not in (FALSE, TRUE):
+                widths[self._position[self._nodes[u][0]]] += 1
+        return widths
+
+    # ------------------------------------------------------------------
+    # construction / evaluation
+    # ------------------------------------------------------------------
+    def from_truth_table(self, table: TruthTable) -> int:
+        if table.n != self.num_vars:
+            raise DimensionError(
+                f"table has {table.n} variables, manager has {self.num_vars}"
+            )
+        if self.num_vars == 0:
+            return self.protect(TRUE if int(table.values[0]) else FALSE)
+        g = table.permute(list(self.order)[::-1]).values
+        memo: Dict[Tuple[int, bytes], int] = {}
+
+        def build(level: int, chunk: np.ndarray) -> int:
+            if level == self.num_vars:
+                return TRUE if int(chunk[0]) else FALSE
+            key = (level, chunk.tobytes())
+            found = memo.get(key)
+            if found is not None:
+                return found
+            half = chunk.shape[0] // 2
+            r = self.make(self.order[level], build(level + 1, chunk[:half]),
+                          build(level + 1, chunk[half:]))
+            memo[key] = r
+            return r
+
+        return self.protect(build(0, g))
+
+    def evaluate(self, u: int, assignment: Sequence[int]) -> int:
+        u = self.resolve(u)
+        while u not in (FALSE, TRUE):
+            var, lo, hi = self._nodes[u]
+            u = self.resolve(hi if assignment[var] else lo)
+        return u
+
+    def to_truth_table(self, u: int) -> TruthTable:
+        n = self.num_vars
+        values = [
+            self.evaluate(u, [(a >> i) & 1 for i in range(n)])
+            for a in range(1 << n)
+        ]
+        return TruthTable(n, values)
+
+    # ------------------------------------------------------------------
+    # the swap
+    # ------------------------------------------------------------------
+    def swap(self, level: int) -> None:
+        """Swap the variables at ``level`` and ``level + 1`` in place.
+
+        Only nodes labelled with the upper variable that reference the
+        lower variable are rewritten; every represented function is
+        unchanged.  Root handles stay valid (possibly via forwards).
+        """
+        if not 0 <= level < self.num_vars - 1:
+            raise OrderingError(f"cannot swap at level {level}")
+        upper = self.order[level]
+        lower = self.order[level + 1]
+
+        affected = [
+            u for u, (var, lo, hi) in self._nodes.items()
+            if var == upper and (
+                self._var_is(lo, lower) or self._var_is(hi, lower)
+            )
+        ]
+        # Update the order first: make() during the rewrite must see the
+        # new positions so freshly-built `upper` nodes sit below `lower`.
+        self.order[level], self.order[level + 1] = lower, upper
+        self._position[upper] = level + 1
+        self._position[lower] = level
+
+        for u in affected:
+            var, lo, hi = self._nodes[u]
+            lo, hi = self.resolve(lo), self.resolve(hi)
+            f00, f01 = self._cofactors_wrt(lo, lower)
+            f10, f11 = self._cofactors_wrt(hi, lower)
+            new_lo = self.make(upper, f00, f10)
+            new_hi = self.make(upper, f01, f11)
+            # Retire u's old identity before giving it a new one.
+            old_key = (var, lo, hi)
+            if self._unique.get(old_key) == u:
+                del self._unique[old_key]
+            if new_lo == new_hi:
+                del self._nodes[u]
+                self._forward[u] = new_lo
+                continue
+            new_key = (lower, new_lo, new_hi)
+            existing = self._unique.get(new_key)
+            if existing is not None and existing != u:
+                del self._nodes[u]
+                self._forward[u] = existing
+            else:
+                self._nodes[u] = new_key
+                self._unique[new_key] = u
+
+    def _var_is(self, u: int, var: int) -> bool:
+        u = self.resolve(u)
+        return u not in (FALSE, TRUE) and self._nodes[u][0] == var
+
+    def _cofactors_wrt(self, u: int, var: int) -> Tuple[int, int]:
+        if self._var_is(u, var):
+            _, lo, hi = self._nodes[self.resolve(u)]
+            return self.resolve(lo), self.resolve(hi)
+        return u, u
+
+    # ------------------------------------------------------------------
+    # swap-based reordering
+    # ------------------------------------------------------------------
+    def move_var(self, var: int, position: int) -> None:
+        """Move ``var`` to ``position`` via adjacent swaps."""
+        current = self._position[var]
+        while current > position:
+            self.swap(current - 1)
+            current -= 1
+        while current < position:
+            self.swap(current)
+            current += 1
+
+    def reorder_to(self, new_order: Sequence[int]) -> None:
+        """Reorder to ``new_order`` with a selection-sort of swaps."""
+        new_order = list(new_order)
+        if sorted(new_order) != list(range(self.num_vars)):
+            raise OrderingError(
+                f"{new_order!r} is not an ordering of range({self.num_vars})"
+            )
+        for position, var in enumerate(new_order):
+            self.move_var(var, position)
+        self.collect()
+
+    def sift(self, max_rounds: int = 10) -> Tuple[List[int], int]:
+        """Rudell's sifting, executed with real level swaps.
+
+        Each variable (widest level first) slides through all positions;
+        it is parked at the best position seen.  Returns the final order
+        and diagram size.
+        """
+        best_size = self.size()
+        for _ in range(max_rounds):
+            improved = False
+            widths = self.level_widths()
+            schedule = [
+                self.order[lv]
+                for lv in sorted(range(self.num_vars), key=lambda l: -widths[l])
+            ]
+            for var in schedule:
+                start = self._position[var]
+                best_position = start
+                # sweep down to the bottom...
+                position = start
+                while position < self.num_vars - 1:
+                    self.swap(position)
+                    position += 1
+                    size = self.size()
+                    if size < best_size:
+                        best_size = size
+                        best_position = position
+                        improved = True
+                # ...then up to the top...
+                while position > 0:
+                    self.swap(position - 1)
+                    position -= 1
+                    size = self.size()
+                    if size < best_size:
+                        best_size = size
+                        best_position = position
+                        improved = True
+                # ...and park at the best position found.
+                self.move_var(var, best_position)
+                self.collect()
+            if not improved:
+                break
+        return list(self.order), self.size()

@@ -1,0 +1,476 @@
+"""Zero-suppressed decision diagrams (Minato's ZDDs).
+
+The paper's Remark 2 and the "Adaptation to ZDD" appendix show that the FS
+table-compaction rule changes in two lines to minimize ZDDs instead of
+OBDDs.  This module provides the independent ZDD substrate used to validate
+that adaptation: a manager with the zero-suppressed reduction rule (a node
+whose 1-edge points to FALSE is removed), the standard set-family algebra,
+and canonical construction from truth tables / families of subsets.
+
+A ZDD node at level ``l`` testing variable ``v`` represents a family of
+subsets of the *remaining* variables; skipping a level means that variable
+is absent from every set of the family (this is the zero-suppression
+semantics, dual to the OBDD don't-care semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import DimensionError, OrderingError
+from ..truth_table import TruthTable
+from .node import FALSE, TRUE, Node
+
+
+class ZDD:
+    """Manager for reduced zero-suppressed decision diagrams.
+
+    Terminal ``0`` is the empty family; terminal ``1`` is the family
+    containing only the empty set.  ``order[level]`` is the variable tested
+    at ``level`` (level 0 at the root).
+    """
+
+    def __init__(self, num_vars: int, order: Optional[Sequence[int]] = None) -> None:
+        if num_vars < 0:
+            raise DimensionError("num_vars must be non-negative")
+        if order is None:
+            order = list(range(num_vars))
+        order = list(order)
+        if sorted(order) != list(range(num_vars)):
+            raise OrderingError(f"{order!r} is not an ordering of range({num_vars})")
+        self.num_vars = num_vars
+        self.order: Tuple[int, ...] = tuple(order)
+        self._level_of: Dict[int, int] = {v: lv for lv, v in enumerate(order)}
+        self._nodes: Dict[int, Node] = {}
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._next_id = 2
+        self._op_cache: Dict[Tuple[str, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+    @property
+    def empty(self) -> int:
+        """The empty family (terminal 0)."""
+        return FALSE
+
+    @property
+    def base(self) -> int:
+        """The family ``{{}}`` containing just the empty set (terminal 1)."""
+        return TRUE
+
+    def level_of_var(self, var: int) -> int:
+        try:
+            return self._level_of[var]
+        except KeyError:
+            raise DimensionError(f"variable {var} out of range") from None
+
+    def level(self, u: int) -> int:
+        if u in (FALSE, TRUE):
+            return self.num_vars
+        return self._nodes[u].level
+
+    def node(self, u: int) -> Node:
+        return self._nodes[u]
+
+    def is_terminal(self, u: int) -> bool:
+        return u in (FALSE, TRUE)
+
+    def make(self, level: int, lo: int, hi: int) -> int:
+        """Canonical constructor with the zero-suppressed reduction rule."""
+        if hi == FALSE:  # zero-suppression: variable absent everywhere
+            return lo
+        key = (level, lo, hi)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        u = self._next_id
+        self._next_id += 1
+        self._nodes[u] = Node(level, self.order[level], lo, hi)
+        self._unique[key] = u
+        return u
+
+    def singleton(self, var: int) -> int:
+        """The family ``{{var}}``."""
+        return self.make(self.level_of_var(var), FALSE, TRUE)
+
+    # ------------------------------------------------------------------
+    # family algebra (Minato's operators)
+    # ------------------------------------------------------------------
+    def _cofactors_at(self, u: int, level: int) -> Tuple[int, int]:
+        # Zero-suppressed semantics: skipping a level means hi-cofactor 0.
+        if self.level(u) != level:
+            return u, FALSE
+        node = self._nodes[u]
+        return node.lo, node.hi
+
+    def _binary(self, op: str, f: int, g: int) -> int:
+        key = (op, f, g)
+        found = self._op_cache.get(key)
+        if found is not None:
+            return found
+        top = min(self.level(f), self.level(g))
+        f0, f1 = self._cofactors_at(f, top)
+        g0, g1 = self._cofactors_at(g, top)
+        if op == "union":
+            r = self.make(top, self.union(f0, g0), self.union(f1, g1))
+        elif op == "intersection":
+            r = self.make(top, self.intersection(f0, g0), self.intersection(f1, g1))
+        elif op == "difference":
+            r = self.make(top, self.difference(f0, g0), self.difference(f1, g1))
+        else:  # pragma: no cover - internal dispatch only
+            raise ValueError(op)
+        self._op_cache[key] = r
+        return r
+
+    def union(self, f: int, g: int) -> int:
+        """Family union ``f | g``."""
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == g:
+            return f
+        if f == TRUE and g == TRUE:
+            return TRUE
+        return self._binary("union", f, g)
+
+    def intersection(self, f: int, g: int) -> int:
+        """Family intersection ``f & g``."""
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == g:
+            return f
+        if f == TRUE:
+            return TRUE if self._contains_empty(g) else FALSE
+        if g == TRUE:
+            return TRUE if self._contains_empty(f) else FALSE
+        return self._binary("intersection", f, g)
+
+    def difference(self, f: int, g: int) -> int:
+        """Family difference ``f \\ g``."""
+        if f == FALSE or f == g:
+            return FALSE
+        if g == FALSE:
+            return f
+        if f == TRUE:
+            return FALSE if self._contains_empty(g) else TRUE
+        return self._binary("difference", f, g)
+
+    def _contains_empty(self, u: int) -> bool:
+        # The empty set is in the family iff following lo edges reaches TRUE.
+        while not self.is_terminal(u):
+            u = self._nodes[u].lo
+        return u == TRUE
+
+    def join(self, f: int, g: int) -> int:
+        """Minato's join: ``{a | b : a in f, b in g}`` (union of each pair)."""
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if g == TRUE:
+            return f
+        key = ("join", f, g)
+        found = self._op_cache.get(key)
+        if found is not None:
+            return found
+        top = min(self.level(f), self.level(g))
+        f0, f1 = self._cofactors_at(f, top)
+        g0, g1 = self._cofactors_at(g, top)
+        hi = self.union(
+            self.union(self.join(f1, g1), self.join(f1, g0)), self.join(f0, g1)
+        )
+        r = self.make(top, self.join(f0, g0), hi)
+        self._op_cache[key] = r
+        return r
+
+    def subset1(self, u: int, var: int) -> int:
+        """Sets of the family containing ``var``, with ``var`` removed."""
+        target = self.level_of_var(var)
+        if self.level(u) > target:
+            return FALSE
+        cache: Dict[int, int] = {}
+
+        def walk(w: int) -> int:
+            if self.level(w) > target:
+                return FALSE
+            found = cache.get(w)
+            if found is not None:
+                return found
+            node = self._nodes[w]
+            if node.level == target:
+                r = node.hi
+            else:
+                r = self.make(node.level, walk(node.lo), walk(node.hi))
+            cache[w] = r
+            return r
+
+        return walk(u)
+
+    def symmetric_difference(self, f: int, g: int) -> int:
+        """Family symmetric difference (sets in exactly one of the two)."""
+        return self.union(self.difference(f, g), self.difference(g, f))
+
+    def maximal(self, u: int) -> int:
+        """Sets of the family not strictly contained in another member.
+
+        Minato's ``MAXIMAL`` operator; the classic output filter for
+        clique/independent-set enumeration.
+        """
+        cache = self._op_cache
+        key = ("maximal", u, u)
+        found = cache.get(key)
+        if found is not None:
+            return found
+        if self.is_terminal(u):
+            return u
+        node = self._nodes[u]
+        hi = self.maximal(node.hi)
+        lo_max = self.maximal(node.lo)
+        # A set without this variable survives only if it is not contained
+        # in some set WITH the variable: remove subsets of hi from lo.
+        lo = self.nonsubsets(lo_max, node.hi)
+        result = self.make(node.level, lo, hi)
+        cache[key] = result
+        return result
+
+    def minimal(self, u: int) -> int:
+        """Sets of the family not strictly containing another member."""
+        cache = self._op_cache
+        key = ("minimal", u, u)
+        found = cache.get(key)
+        if found is not None:
+            return found
+        if self.is_terminal(u):
+            return u
+        node = self._nodes[u]
+        lo = self.minimal(node.lo)
+        hi_min = self.minimal(node.hi)
+        # A set with this variable survives only if removing nothing keeps
+        # it minimal: drop supersets of lo from hi.
+        hi = self.nonsupersets(hi_min, node.lo)
+        result = self.make(node.level, lo, hi)
+        cache[key] = result
+        return result
+
+    def nonsubsets(self, f: int, g: int) -> int:
+        """Sets of ``f`` that are a subset of NO set in ``g``."""
+        if f == FALSE or f == g:
+            return FALSE
+        if g == FALSE:
+            return f
+        if g == TRUE:
+            # only the empty set is a subset of {} -- drop it from f
+            return self.difference(f, TRUE)
+        if f == TRUE:
+            # the empty set is a subset of anything in a nonempty family
+            return FALSE
+        key = ("nonsub", f, g)
+        found = self._op_cache.get(key)
+        if found is not None:
+            return found
+        top = min(self.level(f), self.level(g))
+        f0, f1 = self._cofactors_at(f, top)
+        g0, g1 = self._cofactors_at(g, top)
+        # f-sets without the var must avoid being subsets of both g halves;
+        # f-sets with the var can only be subsets of g-sets with the var.
+        lo = self.intersection(self.nonsubsets(f0, g0),
+                               self.nonsubsets(f0, g1))
+        hi = self.nonsubsets(f1, g1)
+        result = self.make(top, lo, hi)
+        self._op_cache[key] = result
+        return result
+
+    def nonsupersets(self, f: int, g: int) -> int:
+        """Sets of ``f`` that are a superset of NO set in ``g``."""
+        if f == FALSE or g == TRUE or f == g:
+            return FALSE
+        if g == FALSE:
+            return f
+        key = ("nonsup", f, g)
+        found = self._op_cache.get(key)
+        if found is not None:
+            return found
+        top = min(self.level(f), self.level(g))
+        f0, f1 = self._cofactors_at(f, top)
+        g0, g1 = self._cofactors_at(g, top)
+        # f-sets with the var must avoid supersets of g-sets with AND
+        # without it; f-sets without the var only clash with g0.
+        hi = self.intersection(self.nonsupersets(f1, g1),
+                               self.nonsupersets(f1, g0))
+        lo = self.nonsupersets(f0, g0)
+        result = self.make(top, lo, hi)
+        self._op_cache[key] = result
+        return result
+
+    def supersets_of(self, u: int, variables) -> int:
+        """Members containing every variable in ``variables``."""
+        result = u
+        for var in variables:
+            result = self.join(self.subset1(result, var),
+                               self.singleton(var))
+        return result
+
+    def subset0(self, u: int, var: int) -> int:
+        """Sets of the family not containing ``var``."""
+        target = self.level_of_var(var)
+        if self.level(u) > target:
+            return u
+        cache: Dict[int, int] = {}
+
+        def walk(w: int) -> int:
+            if self.level(w) > target:
+                return w
+            found = cache.get(w)
+            if found is not None:
+                return found
+            node = self._nodes[w]
+            if node.level == target:
+                r = node.lo
+            else:
+                r = self.make(node.level, walk(node.lo), walk(node.hi))
+            cache[w] = r
+            return r
+
+        return walk(u)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def from_sets(self, sets: Sequence[Set[int]]) -> int:
+        """Build the ZDD of a family given explicitly as Python sets."""
+        r = FALSE
+        for s in sets:
+            r = self.union(r, self._one_set(s))
+        return r
+
+    def _one_set(self, s: Set[int]) -> int:
+        levels = sorted((self.level_of_var(v) for v in s), reverse=True)
+        r = TRUE
+        for lv in levels:
+            r = self.make(lv, FALSE, r)
+        return r
+
+    def from_truth_table(self, table: TruthTable) -> int:
+        """Build the ZDD of the Boolean function's on-set under this
+        manager's ordering (characteristic-function view: each satisfying
+        assignment is the set of variables assigned 1)."""
+        if table.n != self.num_vars:
+            raise DimensionError(
+                f"table has {table.n} variables, manager has {self.num_vars}"
+            )
+        if self.num_vars == 0:
+            return TRUE if int(table.values[0]) else FALSE
+        n = self.num_vars
+        g = table.permute(list(self.order)[::-1]).values
+
+        memo: Dict[Tuple[int, bytes], int] = {}
+
+        def build(level: int, chunk: np.ndarray) -> int:
+            if level == n:
+                return TRUE if int(chunk[0]) else FALSE
+            key = (level, chunk.tobytes())
+            found = memo.get(key)
+            if found is not None:
+                return found
+            half = chunk.shape[0] // 2
+            r = self.make(level, build(level + 1, chunk[:half]),
+                          build(level + 1, chunk[half:]))
+            memo[key] = r
+            return r
+
+        return build(0, g)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def count(self, u: int) -> int:
+        """Number of sets in the family."""
+        cache: Dict[int, int] = {}
+
+        def walk(w: int) -> int:
+            if w == FALSE:
+                return 0
+            if w == TRUE:
+                return 1
+            found = cache.get(w)
+            if found is not None:
+                return found
+            node = self._nodes[w]
+            r = walk(node.lo) + walk(node.hi)
+            cache[w] = r
+            return r
+
+        return walk(u)
+
+    def iter_sets(self, u: int) -> Iterator[frozenset]:
+        """Yield every member set of the family."""
+        if u == FALSE:
+            return
+        if u == TRUE:
+            yield frozenset()
+            return
+        node = self._nodes[u]
+        yield from self.iter_sets(node.lo)
+        for s in self.iter_sets(node.hi):
+            yield s | {node.var}
+
+    def reachable(self, u: int) -> List[int]:
+        seen = set()
+        stack = [u]
+        while stack:
+            w = stack.pop()
+            if w in seen:
+                continue
+            seen.add(w)
+            if not self.is_terminal(w):
+                node = self._nodes[w]
+                stack.append(node.lo)
+                stack.append(node.hi)
+        return sorted(seen)
+
+    def size(self, u: int, include_terminals: bool = True) -> int:
+        """Node count of the diagram rooted at ``u``."""
+        reach = self.reachable(u)
+        if include_terminals:
+            return len(reach)
+        return sum(1 for w in reach if not self.is_terminal(w))
+
+    def level_widths(self, u: int) -> List[int]:
+        widths = [0] * self.num_vars
+        for w in self.reachable(u):
+            if not self.is_terminal(w):
+                widths[self._nodes[w].level] += 1
+        return widths
+
+    def evaluate(self, u: int, assignment: Sequence[int]) -> int:
+        """Membership test: is the set ``{v : assignment[v] == 1}`` in the
+        family?  (Equivalently, the Boolean function value.)"""
+        if len(assignment) != self.num_vars:
+            raise DimensionError(
+                f"expected {self.num_vars} values, got {len(assignment)}"
+            )
+        w = u
+        level = 0
+        while True:
+            wl = self.level(w)
+            # Any variable skipped between `level` and wl must be 0.
+            for lv in range(level, wl):
+                if assignment[self.order[lv]]:
+                    return 0
+            if self.is_terminal(w):
+                return 1 if w == TRUE else 0
+            node = self._nodes[w]
+            w = node.hi if assignment[node.var] else node.lo
+            level = wl + 1
+
+    def to_truth_table(self, u: int) -> TruthTable:
+        n = self.num_vars
+        values = np.zeros(1 << n, dtype=np.int64)
+        for a in range(1 << n):
+            bits = [(a >> i) & 1 for i in range(n)]
+            values[a] = self.evaluate(u, bits)
+        return TruthTable(n, values)

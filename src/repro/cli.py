@@ -1,0 +1,319 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+optimize
+    Find the optimal variable ordering for a function given as an
+    expression string, PLA file, BLIF file, or DIMACS CNF file; print the
+    ordering and sizes, optionally export the minimum diagram.
+tables
+    Re-derive the paper's Appendix C Tables 1 and 2 and the simple-case
+    constants.
+gap
+    Print the Figure 1 ordering-gap series.
+heuristics
+    Compare the ordering heuristics against the exact optimum.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .analysis.parameters import gamma0, gamma1, gamma2_appendix_b, solve_table1, solve_table2
+from .bdd.reorder import greedy_append, random_restart_search, sift, window_permute
+from .core.astar import astar_optimal_ordering
+from .core.bruteforce import brute_force_optimal
+from .core.divide_conquer import opt_obdd
+from .core.fs import run_fs
+from .core.reconstruct import reconstruct_minimum_diagram
+from .core.spec import ReductionRule
+from .errors import ReproError
+from .expr.convert import to_truth_table
+from .expr.normal_forms import CNF
+from .expr.parser import parse
+from .functions.families import (
+    achilles_bad_order,
+    achilles_good_order,
+    achilles_heel,
+)
+from .io.blif import read_blif
+from .io.pla import read_pla
+from .io.serialize import save_diagram
+from .truth_table import TruthTable, obdd_size
+
+
+def _load_table(args: argparse.Namespace) -> TruthTable:
+    sources = [
+        name for name in ("expr", "pla", "blif", "dimacs") if getattr(args, name)
+    ]
+    if len(sources) != 1:
+        raise ReproError("give exactly one of --expr/--pla/--blif/--dimacs")
+    if args.expr:
+        return to_truth_table(parse(args.expr), args.num_vars)
+    if args.pla:
+        return read_pla(args.pla).truth_table()
+    if args.blif:
+        return read_blif(args.blif).truth_table(args.output)
+    with open(args.dimacs) as handle:
+        return to_truth_table(CNF.from_dimacs(handle.read()), args.num_vars)
+
+
+def _run_optimize(args: argparse.Namespace) -> int:
+    if args.all_outputs:
+        return _run_optimize_shared(args)
+    table = _load_table(args)
+    rule = ReductionRule(args.rule)
+    if table.n > 16:
+        raise ReproError(
+            f"{table.n} variables is beyond the exact DP's practical range"
+        )
+
+    if args.algorithm == "fs":
+        result = run_fs(table, rule=rule)
+    elif args.algorithm == "astar":
+        result = astar_optimal_ordering(table, rule=rule)
+    elif args.algorithm == "optobdd":
+        result = opt_obdd(table, rule=rule)
+    elif args.algorithm == "bruteforce":
+        result = brute_force_optimal(table, rule=rule, collect_all=False)
+    else:  # pragma: no cover - argparse choices guard this
+        raise ReproError(f"unknown algorithm {args.algorithm}")
+
+    print(f"variables        : {table.n}")
+    print(f"rule             : {rule.value}")
+    print(f"algorithm        : {args.algorithm}")
+    print(f"optimal ordering : {' '.join(f'x{v}' for v in result.order)}")
+    print(f"internal nodes   : {result.mincost}")
+    print(f"total size       : {result.size}")
+    natural = list(range(table.n))
+    if rule is ReductionRule.BDD:
+        print(f"natural ordering : {obdd_size(table, natural)} total nodes")
+    if args.dot or args.json:
+        fs_result = result if args.algorithm == "fs" else run_fs(table, rule=rule)
+        diagram = reconstruct_minimum_diagram(table, fs_result)
+        if args.dot:
+            with open(args.dot, "w") as handle:
+                handle.write(diagram.to_dot(name="Minimum"))
+            print(f"wrote DOT        : {args.dot}")
+        if args.json:
+            save_diagram(diagram, args.json)
+            print(f"wrote JSON       : {args.json}")
+    return 0
+
+
+def _run_optimize_shared(args: argparse.Namespace) -> int:
+    from .core.fs import run_fs as _run_fs
+    from .core.shared import run_fs_shared
+
+    rule = ReductionRule(args.rule)
+    if args.blif:
+        network = read_blif(args.blif)
+        tables = [network.truth_table(w) for w in network.outputs]
+        labels = list(network.outputs)
+    elif args.pla:
+        pla = read_pla(args.pla)
+        tables = pla.truth_tables()
+        labels = pla.output_labels or [f"y{j}" for j in range(len(tables))]
+    else:
+        raise ReproError("--all-outputs requires --blif or --pla input")
+    if tables[0].n > 16:
+        raise ReproError(
+            f"{tables[0].n} variables is beyond the exact DP's practical range"
+        )
+    result = run_fs_shared(tables, rule=rule)
+    print(f"outputs          : {len(tables)} ({' '.join(labels)})")
+    print(f"variables        : {tables[0].n}")
+    print(f"rule             : {rule.value}")
+    print(f"shared ordering  : {' '.join(f'x{v}' for v in result.order)}")
+    print(f"shared nodes     : {result.mincost}")
+    separate = sum(_run_fs(t, rule=rule).mincost for t in tables)
+    print(f"separate optima  : {separate} (sum over outputs)")
+    return 0
+
+
+def _run_tables(args: argparse.Namespace) -> int:
+    g0, a0 = gamma0()
+    g1, a1 = gamma1()
+    g2, b1, b2 = gamma2_appendix_b()
+    print("simple cases:")
+    print(f"  gamma_0 = {g0:.5f} (alpha {a0:.6f})   paper 2.98581")
+    print(f"  gamma_1 = {g1:.5f} (alpha {a1:.6f})   paper 2.97625")
+    print(f"  gamma_2 = {g2:.5f} (alphas {b1:.6f} {b2:.6f})   paper 2.8569")
+    print("\nTable 1 (gamma_k for OptOBDD(k, alpha)):")
+    for row in solve_table1(6):
+        alphas = " ".join(f"{a:.6f}" for a in row.alphas)
+        print(f"  k={row.k}: gamma={row.base:.5f}  alphas: {alphas}")
+    print("\nTable 2 (composition iteration):")
+    for i, row in enumerate(solve_table2(10)):
+        print(f"  iter {i + 1:2d}: {row.gamma_subroutine:.5f} -> {row.base:.5f}")
+    print("\nTheorem 13 constant: <= 2.77286")
+    return 0
+
+
+def _run_gap(args: argparse.Namespace) -> int:
+    print("pairs  vars  good(2n+2)  bad(2^(n+1))  optimal")
+    for pairs in range(1, args.max_pairs + 1):
+        table = achilles_heel(pairs)
+        good = obdd_size(table, achilles_good_order(pairs))
+        bad = obdd_size(table, achilles_bad_order(pairs))
+        optimal = run_fs(table).size
+        print(f"{pairs:5d}  {2 * pairs:4d}  {good:10d}  {bad:12d}  {optimal:7d}")
+    return 0
+
+
+def _run_heuristics(args: argparse.Namespace) -> int:
+    table = _load_table(args)
+    exact = run_fs(table)
+    rows = [
+        ("exact (FS)", exact.size, " ".join(f"x{v}" for v in exact.order)),
+    ]
+    for name, result in (
+        ("sift", sift(table)),
+        ("window3", window_permute(table, window=min(3, max(table.n, 2)))),
+        ("random30", random_restart_search(table, tries=30, seed=0)),
+        ("greedy", greedy_append(table)),
+    ):
+        rows.append((name, result.size, " ".join(f"x{v}" for v in result.order)))
+    width = max(len(r[0]) for r in rows)
+    for name, size, order in rows:
+        ratio = size / exact.size
+        print(f"{name:<{width}}  size {size:4d}  ({ratio:.2f}x)  {order}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Exact optimal variable ordering for decision diagrams",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_input_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--expr", help="Boolean expression, e.g. 'x0 & x1 | x2'")
+        p.add_argument("--pla", help="path to a PLA file")
+        p.add_argument("--blif", help="path to a BLIF file")
+        p.add_argument("--dimacs", help="path to a DIMACS CNF file")
+        p.add_argument("--output", help="BLIF output wire to use")
+        p.add_argument("--num-vars", type=int, default=None,
+                       help="widen the variable domain (expr/dimacs)")
+
+    opt = sub.add_parser("optimize", help="find an optimal variable ordering")
+    add_input_options(opt)
+    opt.add_argument("--rule", choices=[r.value for r in ReductionRule],
+                     default="bdd")
+    opt.add_argument("--algorithm",
+                     choices=["fs", "astar", "optobdd", "bruteforce"],
+                     default="fs")
+    opt.add_argument("--dot", help="write the minimum diagram as DOT")
+    opt.add_argument("--json", help="write the minimum diagram as JSON")
+    opt.add_argument("--all-outputs", action="store_true",
+                     help="optimize one shared ordering for every output "
+                          "of a multi-output BLIF/PLA")
+    opt.set_defaults(handler=_run_optimize)
+
+    tables = sub.add_parser("tables", help="re-derive the Appendix C tables")
+    tables.set_defaults(handler=_run_tables)
+
+    gap = sub.add_parser("gap", help="print the Figure 1 ordering-gap series")
+    gap.add_argument("--max-pairs", type=int, default=7)
+    gap.set_defaults(handler=_run_gap)
+
+    heur = sub.add_parser("heuristics",
+                          help="compare heuristics against the exact optimum")
+    add_input_options(heur)
+    heur.set_defaults(handler=_run_heuristics)
+
+    rep = sub.add_parser("reproduce",
+                         help="regenerate every paper number with verdicts")
+    rep.add_argument("--quick", action="store_true",
+                     help="skip the slower FS sweeps")
+    rep.set_defaults(handler=_run_reproduce)
+
+    sym = sub.add_parser("symmetry",
+                         help="variable symmetry classes and sensitivity")
+    add_input_options(sym)
+    sym.add_argument("--sample", type=int, default=None,
+                     help="sample orderings instead of exhausting them")
+    sym.set_defaults(handler=_run_symmetry)
+
+    cert = sub.add_parser("certify",
+                          help="emit or verify an optimality certificate")
+    add_input_options(cert)
+    cert.add_argument("--out", help="write the certificate JSON here")
+    cert.add_argument("--check", help="verify a certificate JSON file")
+    cert.set_defaults(handler=_run_certify)
+    return parser
+
+
+def _run_symmetry(args: argparse.Namespace) -> int:
+    from .analysis.sensitivity import ordering_sensitivity
+    from .analysis.symmetry import search_space_reduction, symmetry_classes
+
+    table = _load_table(args)
+    classes = symmetry_classes(table)
+    full, reduced = search_space_reduction(table)
+    print(f"variables        : {table.n}")
+    print("symmetry classes : "
+          + " ".join("{" + " ".join(f"x{v}" for v in cls) + "}"
+                     for cls in classes))
+    print(f"ordering orbits  : {reduced} of {full}")
+    if table.n <= 8 or args.sample:
+        report = ordering_sensitivity(table, sample=args.sample)
+        kind = "exhaustive" if report.exhaustive else "sampled"
+        print(f"size spread      : {report.minimum}..{report.maximum} "
+              f"internal nodes ({kind} over "
+              f"{report.orderings_examined} orderings, "
+              f"worst/best {report.spread:.2f}x)")
+    return 0
+
+
+def _run_certify(args: argparse.Namespace) -> int:
+    from .core.certificate import (
+        OptimalityCertificate,
+        extract_certificate,
+        verify_certificate,
+    )
+
+    table = _load_table(args)
+    if args.check:
+        with open(args.check) as handle:
+            certificate = OptimalityCertificate.from_json(handle.read())
+        valid = verify_certificate(table, certificate)
+        print(f"certificate      : {args.check}")
+        print(f"claimed optimum  : {certificate.mincost} internal nodes")
+        print(f"verdict          : {'VALID' if valid else 'INVALID'}")
+        return 0 if valid else 1
+    if table.n > 12:
+        raise ReproError("certificate extraction needs the full DP (n <= 12)")
+    certificate = extract_certificate(run_fs(table))
+    print(f"optimal ordering : {' '.join(f'x{v}' for v in certificate.order)}")
+    print(f"certified optimum: {certificate.mincost} internal nodes")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(certificate.to_json())
+        print(f"wrote certificate: {args.out}")
+    return 0
+
+
+def _run_reproduce(args: argparse.Namespace) -> int:
+    from .analysis.reproduce import render_report, run_reproduction
+
+    checks = run_reproduction(quick=args.quick)
+    print(render_report(checks))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

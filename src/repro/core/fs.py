@@ -1,0 +1,286 @@
+"""Algorithm FS: the exact ``O*(3^n)`` optimal-variable-ordering DP.
+
+This is the paper's primary classical contribution (Friedman & Supowit,
+DAC 1987; Theorem 5 in the supplied text).  For every subset ``I`` of the
+``n`` variables, in order of cardinality, it computes the quadruple
+``FS(I)`` — in particular ``MINCOST_I``, the minimum possible number of
+nodes in the bottom ``|I|`` levels over all orderings that place exactly
+the variables of ``I`` there — using the recurrence of Lemma 4::
+
+    MINCOST_I = min_{k in I} ( MINCOST_{I \\ k} + Cost_k(f, pi_{(I\\k, k)}) )
+
+The total work is ``sum_k C(n,k) * k * 2^{n-k} = O*(3^n)`` table cells,
+which the :class:`~repro.analysis.counters.OperationCounters` instrument
+measures exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._bitops import bits_of, popcount, subsets_of_size
+from ..analysis.counters import OperationCounters
+from ..errors import DimensionError
+from ..truth_table import TruthTable
+from .compaction import compact, compact_python
+from .spec import FSState, ReductionRule
+
+CompactFn = Callable[..., FSState]
+
+
+def initial_state(
+    table: TruthTable,
+    rule: ReductionRule = ReductionRule.BDD,
+    track_nodes: bool = False,
+) -> FSState:
+    """The paper's ``FS(emptyset)``: ``TABLE_0`` is the truth table itself.
+
+    For Boolean rules the table values are the terminal ids 0/1 directly.
+    For :attr:`ReductionRule.MTBDD` each distinct function value gets its
+    own terminal id (0, 1, 2, ... in increasing value order); the mapping
+    is returned on the state via ``num_terminals`` and is reconstructed by
+    callers through :func:`terminal_values`.
+    """
+    if rule is ReductionRule.MTBDD:
+        values, inverse = np.unique(table.values, return_inverse=True)
+        cells = inverse.astype(np.int64)
+        num_terminals = int(values.shape[0])
+    elif rule is ReductionRule.CBDD:
+        if not table.is_boolean():
+            raise DimensionError(
+                "cbdd rule requires a Boolean table; "
+                "use ReductionRule.MTBDD for multi-valued functions"
+            )
+        # Cells hold edges over the single TRUE terminal (node 0):
+        # value 1 -> regular edge 0, value 0 -> complemented edge 1.
+        cells = (1 - table.values).astype(np.int64)
+        num_terminals = 1
+    else:
+        if not table.is_boolean():
+            raise DimensionError(
+                f"{rule.value} rule requires a Boolean table; "
+                "use ReductionRule.MTBDD for multi-valued functions"
+            )
+        cells = table.values.astype(np.int64)
+        num_terminals = 2
+    return FSState(
+        n=table.n,
+        mask=0,
+        pi=(),
+        mincost=0,
+        table=cells,
+        num_terminals=num_terminals,
+        nodes={} if track_nodes else None,
+    )
+
+
+def terminal_values(table: TruthTable, rule: ReductionRule) -> List[int]:
+    """Function value carried by each terminal id under ``rule``.
+
+    For :attr:`ReductionRule.CBDD` the single terminal node carries TRUE;
+    FALSE is reached via a complemented edge.
+    """
+    if rule is ReductionRule.MTBDD:
+        return [int(v) for v in np.unique(table.values)]
+    if rule is ReductionRule.CBDD:
+        return [1]
+    return [0, 1]
+
+
+@dataclass
+class FSResult:
+    """Output of :func:`run_fs` (the paper's ``FS([n])`` plus conveniences)."""
+
+    n: int
+    rule: ReductionRule
+    order: Tuple[int, ...]
+    """Optimal variable ordering, read-first to read-last."""
+
+    pi: Tuple[int, ...]
+    """The same ordering in the paper's convention (read-last first)."""
+
+    mincost: int
+    """``MINCOST_[n]``: internal nodes of the minimum diagram."""
+
+    num_terminals: int
+    """Terminals of the diagram (2 for BDD/ZDD; distinct values for MTBDD)."""
+
+    mincost_by_subset: Dict[int, int]
+    """``MINCOST_I`` for every subset mask ``I`` (the full DP table)."""
+
+    best_last: Dict[int, int]
+    """For each non-empty subset mask, the minimizing last variable ``i*``."""
+
+    level_cost_by_choice: Dict[Tuple[int, int], int]
+    """``Cost_i(f, pi_{(I, i)})`` for every pair ``(I_mask, i)`` with ``i``
+    not in ``I`` — the width of variable ``i``'s level when placed directly
+    above the bottom set ``I``.  Well-defined by Lemma 3; recorded for every
+    candidate the DP evaluates."""
+
+    counters: OperationCounters = field(default_factory=OperationCounters)
+
+    @property
+    def size(self) -> int:
+        """Total node count including terminals (Figure 1 convention)."""
+        return self.mincost + self.num_terminals
+
+    def optimal_orderings(self) -> List[Tuple[int, ...]]:
+        """Enumerate *all* optimal orderings (read-first to read-last).
+
+        Walks every minimizing choice of the DP, not just the recorded
+        ``best_last`` chain.  The count can be exponential for highly
+        symmetric functions; intended for analysis on small ``n``.
+        """
+        full = (1 << self.n) - 1
+        pis: List[Tuple[int, ...]] = []
+
+        def walk(mask: int, suffix: Tuple[int, ...]) -> None:
+            # `suffix` accumulates the paper's pi left-to-right: the first
+            # variable chosen (for the full mask) is pi[n], read first.
+            if mask == 0:
+                pis.append(suffix)
+                return
+            target = self.mincost_by_subset[mask]
+            for i in bits_of(mask):
+                prev_mask = mask & ~(1 << i)
+                width = self.level_cost(prev_mask, i)
+                if self.mincost_by_subset[prev_mask] + width == target:
+                    walk(prev_mask, (i,) + suffix)
+
+        walk(full, ())
+        return [tuple(reversed(pi)) for pi in pis]
+
+    def level_cost(self, prev_mask: int, var: int) -> int:
+        """``Cost_var(f, pi_{(prev, var)})``: the width of ``var``'s level
+        when placed directly above the bottom set ``prev_mask``."""
+        return self.level_cost_by_choice[(prev_mask, var)]
+
+
+def run_fs(
+    table: TruthTable,
+    rule: ReductionRule = ReductionRule.BDD,
+    counters: Optional[OperationCounters] = None,
+    engine: str = "numpy",
+) -> FSResult:
+    """Run the full Friedman-Supowit dynamic program.
+
+    Parameters
+    ----------
+    table:
+        The function's truth table (the paper's input representation;
+        use :func:`repro.expr.to_truth_table` for other representations).
+    rule:
+        Diagram variant to minimize (BDD, ZDD, or MTBDD).
+    counters:
+        Optional instrumentation sink.
+    engine:
+        ``"numpy"`` (vectorized kernel) or ``"python"`` (the executable
+        specification; exponentially slower, for validation/ablation).
+
+    Returns
+    -------
+    FSResult
+        With the optimal ordering, ``MINCOST_[n]``, and the full
+        ``MINCOST_I`` table for downstream analysis (Lemma 9 checks,
+        enumeration of all optima, ...).
+    """
+    compact_fn = _engine(engine)
+    n = table.n
+    state0 = initial_state(table, rule)
+    if counters is None:
+        counters = OperationCounters()
+    final, mincost_by_subset, best_last, level_cost_by_choice = (
+        dp_over_all_subsets(state0, compact_fn, rule, counters)
+    )
+    pi = final.pi
+    order = tuple(reversed(pi))
+    return FSResult(
+        n=n,
+        rule=rule,
+        order=order,
+        pi=pi,
+        mincost=final.mincost,
+        num_terminals=final.num_terminals,
+        mincost_by_subset=mincost_by_subset,
+        best_last=best_last,
+        level_cost_by_choice=level_cost_by_choice,
+        counters=counters,
+    )
+
+
+def dp_over_all_subsets(
+    state0: FSState,
+    compact_fn: CompactFn,
+    rule: ReductionRule,
+    counters: OperationCounters,
+) -> Tuple[FSState, Dict[int, int], Dict[int, int], Dict[Tuple[int, int], int]]:
+    """The FS dynamic program over every subset of the free variables.
+
+    Shared by the single-function :func:`run_fs` and the multi-rooted
+    :func:`repro.core.shared.run_fs_shared` (the state's ``num_roots``
+    flows through the compaction kernel untouched).  Returns the final
+    state plus the three DP tables.
+    """
+    n = state0.n
+    mincost_by_subset: Dict[int, int] = {0: state0.mincost}
+    best_last: Dict[int, int] = {}
+    level_cost_by_choice: Dict[Tuple[int, int], int] = {}
+    full = (1 << n) - 1
+    previous: Dict[int, FSState] = {0: state0}
+
+    for k in range(1, n + 1):
+        current: Dict[int, FSState] = {}
+        for mask in subsets_of_size(full, k):
+            best: Optional[FSState] = None
+            best_i = -1
+            for i in bits_of(mask):
+                prev_state = previous[mask & ~(1 << i)]
+                candidate = compact_fn(prev_state, i, rule, counters)
+                level_cost_by_choice[(prev_state.mask, i)] = (
+                    candidate.mincost - prev_state.mincost
+                )
+                if best is None or candidate.mincost < best.mincost:
+                    best = candidate
+                    best_i = i
+            assert best is not None
+            current[mask] = best
+            mincost_by_subset[mask] = best.mincost
+            best_last[mask] = best_i
+            counters.subsets_processed += 1
+        previous = current
+
+    return previous[full], mincost_by_subset, best_last, level_cost_by_choice
+
+
+def _engine(engine: str) -> CompactFn:
+    if engine == "numpy":
+        return compact
+    if engine == "python":
+        return compact_python
+    raise ValueError(f"unknown engine {engine!r}; expected 'numpy' or 'python'")
+
+
+def find_optimal_ordering(
+    source,
+    n: Optional[int] = None,
+    rule: ReductionRule = ReductionRule.BDD,
+    engine: str = "numpy",
+) -> FSResult:
+    """Convenience front end accepting any evaluable representation.
+
+    ``source`` may be a :class:`~repro.truth_table.TruthTable`, a callable
+    of ``n`` Boolean arguments (pass ``n``), or any object from
+    :mod:`repro.expr` exposing ``num_vars``/``evaluate`` — this realizes
+    the paper's Corollary 2 (truth-table preparation in ``O*(2^n)`` from a
+    polynomial-time-evaluable representation).
+    """
+    from ..expr import to_truth_table  # deferred: expr imports this package
+
+    if isinstance(source, TruthTable):
+        table = source
+    else:
+        table = to_truth_table(source, n)
+    return run_fs(table, rule=rule, engine=engine)

@@ -1,0 +1,113 @@
+"""Algorithm FS*: the composable generalization of FS (Lemma 8).
+
+Where FS always starts from ``FS(emptyset)`` and places *all* variables,
+FS* starts from an arbitrary already-computed quadruple
+``FS(<I_1, ..., I_m>)`` and optimally places only the variables of a
+further set ``J`` on top of it, justified by Lemma 7::
+
+    MINCOST_(I.., J) = min_{k in J} MINCOST_(I.., J\\k, k)
+
+Its cost is ``O*(2^{n - |I| - |J|} * 3^{|J|})`` table cells — the paper's
+Classical Composition Lemma — which the counters measure exactly.  Stopping
+the DP at prefix size ``k`` yields ``{FS(<I.., K>) : K subset of J, |K| = k}``,
+the preprocessing step of the quantum algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .._bitops import bits_of, popcount, subsets_of_size
+from ..analysis.counters import OperationCounters
+from ..errors import DimensionError
+from .compaction import compact
+from .spec import FSState, ReductionRule
+
+
+def fs_star_levels(
+    base: FSState,
+    j_mask: int,
+    rule: ReductionRule = ReductionRule.BDD,
+    counters: Optional[OperationCounters] = None,
+    upto: Optional[int] = None,
+) -> Dict[int, FSState]:
+    """Run the FS* dynamic program over subsets of ``j_mask``.
+
+    Parameters
+    ----------
+    base:
+        The starting quadruple ``FS(<I_1, ..., I_m>)``.
+    j_mask:
+        Bitmask of the set ``J``; must be disjoint from ``base.mask``.
+    upto:
+        Stop after prefix size ``upto`` (defaults to ``|J|``).
+
+    Returns
+    -------
+    dict
+        Mapping each ``K`` sub-mask with ``|K| == upto`` to its optimal
+        state ``FS(<I.., K>)``.  (States for smaller prefixes are internal
+        and released as the DP advances, matching the paper's Remark 1 on
+        space.)
+    """
+    if j_mask & base.mask:
+        raise DimensionError(
+            f"J mask {j_mask:#x} overlaps already-placed variables "
+            f"{base.mask:#x}"
+        )
+    if j_mask & ~base.free_mask:
+        raise DimensionError(f"J mask {j_mask:#x} mentions out-of-range variables")
+    size_j = popcount(j_mask)
+    if upto is None:
+        upto = size_j
+    if not 0 <= upto <= size_j:
+        raise ValueError(f"upto={upto} out of range for |J|={size_j}")
+
+    previous: Dict[int, FSState] = {0: base}
+    if upto == 0:
+        return {0: base}
+    for k in range(1, upto + 1):
+        current: Dict[int, FSState] = {}
+        for kmask in subsets_of_size(j_mask, k):
+            best: Optional[FSState] = None
+            for i in bits_of(kmask):
+                candidate = compact(previous[kmask & ~(1 << i)], i, rule, counters)
+                if best is None or candidate.mincost < best.mincost:
+                    best = candidate
+            assert best is not None
+            current[kmask] = best
+            if counters is not None:
+                counters.subsets_processed += 1
+        previous = current
+    return previous
+
+
+def run_fs_star(
+    base: FSState,
+    j_mask: int,
+    rule: ReductionRule = ReductionRule.BDD,
+    counters: Optional[OperationCounters] = None,
+) -> FSState:
+    """Produce the single quadruple ``FS(<I_1, ..., I_m, J>)`` (Lemma 8)."""
+    if j_mask == 0:
+        return base
+    levels = fs_star_levels(base, j_mask, rule, counters)
+    return levels[j_mask]
+
+
+# Type of "composable solvers": anything that extends a state over a mask.
+# FS* is the base instance; the quantum OptOBDD wrappers in
+# :mod:`repro.core.composed` share this signature (the paper's Gamma).
+ComposableSolver = Callable[[FSState, int], FSState]
+
+
+def make_fs_star_solver(
+    rule: ReductionRule = ReductionRule.BDD,
+    counters: Optional[OperationCounters] = None,
+) -> ComposableSolver:
+    """FS* packaged with fixed rule/counters as a :data:`ComposableSolver`."""
+
+    def solver(base: FSState, j_mask: int) -> FSState:
+        return run_fs_star(base, j_mask, rule, counters)
+
+    return solver

@@ -1,0 +1,146 @@
+"""Exact window optimization: FS* applied to a slice of the ordering.
+
+The paper notes that theoretically-sound exact methods are worth having
+"to be able to apply such methods at least to parts of the OBDDs within a
+heuristics procedure" [MT98, Sec. 9.22].  This module is that hybrid: the
+composable FS* (Lemma 8) run over a window of ``w`` consecutive levels
+with everything outside the window frozen.  By Lemma 3 the widths outside
+the window cannot change, so each window solve is an exact local
+optimization in ``O*(2^{n-w} 3^w)`` — versus the ``w!`` arrangements a
+permutation-window heuristic enumerates.
+
+:func:`exact_window` optimizes one window; :func:`window_sweep` slides it
+across the ordering to a fixpoint, yielding a heuristic that is strictly
+stronger than classic window permutation at equal window size (identical
+local optima, found with exponentially fewer arrangement evaluations for
+large windows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .._bitops import mask_of
+from ..analysis.counters import OperationCounters
+from ..errors import OrderingError
+from ..truth_table import TruthTable
+from .compaction import compact
+from .fs import initial_state
+from .fs_star import run_fs_star
+from .spec import ReductionRule
+
+
+@dataclass
+class WindowResult:
+    """Outcome of one exact window solve (or a full sweep)."""
+
+    order: Tuple[int, ...]
+    size: int
+    """Total internal nodes of the diagram under ``order``."""
+
+    improved: bool
+    windows_solved: int
+    counters: OperationCounters
+
+
+def _chain_cost(
+    table: TruthTable,
+    order: Sequence[int],
+    rule: ReductionRule,
+    counters: Optional[OperationCounters] = None,
+) -> int:
+    state = initial_state(table, rule)
+    for var in reversed(list(order)):
+        state = compact(state, var, rule, counters)
+    return state.mincost
+
+
+def exact_window(
+    table: TruthTable,
+    order: Sequence[int],
+    start: int,
+    width: int,
+    rule: ReductionRule = ReductionRule.BDD,
+    counters: Optional[OperationCounters] = None,
+) -> WindowResult:
+    """Optimally rearrange ``order[start:start+width]``, rest frozen.
+
+    Returns the improved ordering (identical outside the window) and the
+    new total internal-node count.
+    """
+    n = table.n
+    order = list(order)
+    if sorted(order) != list(range(n)):
+        raise OrderingError(f"{order!r} is not an ordering of range({n})")
+    if width < 1 or start < 0 or start + width > n:
+        raise OrderingError(
+            f"window [{start}, {start + width}) invalid for n={n}"
+        )
+    if counters is None:
+        counters = OperationCounters()
+
+    below = order[start + width:]  # read later = placed at the bottom
+    window = order[start:start + width]
+
+    # Build the frozen bottom chain, then optimize the window with FS*.
+    state = initial_state(table, rule)
+    for var in reversed(below):
+        state = compact(state, var, rule, counters)
+    cost_below = state.mincost
+    final = run_fs_star(state, mask_of(window), rule, counters)
+    optimized_window = list(reversed(final.pi[len(below):]))
+
+    new_order = order[:start] + optimized_window + order[start + width:]
+    # Widths above the window depend only on the variable sets (Lemma 3),
+    # so re-costing the full chain is exact; the window block itself is
+    # guaranteed optimal by Lemma 8.
+    old_size = _chain_cost(table, order, rule, counters)
+    new_size = _chain_cost(table, new_order, rule, counters)
+    assert new_size <= old_size, "exact window must never regress"
+    return WindowResult(
+        order=tuple(new_order),
+        size=new_size,
+        improved=new_size < old_size,
+        windows_solved=1,
+        counters=counters,
+    )
+
+
+def window_sweep(
+    table: TruthTable,
+    initial_order: Optional[Sequence[int]] = None,
+    width: int = 3,
+    rule: ReductionRule = ReductionRule.BDD,
+    max_rounds: int = 10,
+    counters: Optional[OperationCounters] = None,
+) -> WindowResult:
+    """Slide the exact window across all positions until no improvement."""
+    n = table.n
+    if width < 2:
+        raise OrderingError("window width must be at least 2")
+    width = min(width, n)
+    order = list(initial_order) if initial_order is not None else list(range(n))
+    if counters is None:
+        counters = OperationCounters()
+    size = _chain_cost(table, order, rule, counters)
+    solved = 0
+
+    for _ in range(max_rounds):
+        improved = False
+        for start in range(n - width + 1):
+            result = exact_window(table, order, start, width, rule, counters)
+            solved += 1
+            if result.size < size:
+                size = result.size
+                order = list(result.order)
+                improved = True
+        if not improved:
+            break
+    return WindowResult(
+        order=tuple(order),
+        size=size,
+        improved=solved > 0 and size < _chain_cost(table, initial_order or list(range(n)), rule),
+        windows_solved=solved,
+        counters=counters,
+    )

@@ -1,0 +1,27 @@
+"""Exception types for the :mod:`repro` library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class DimensionError(ReproError):
+    """A truth table / function had an unexpected number of variables."""
+
+
+class OrderingError(ReproError):
+    """A variable ordering was malformed (wrong length, duplicates, ...)."""
+
+
+class ParseError(ReproError):
+    """A Boolean expression / DNF / CNF string could not be parsed."""
+
+
+class EvaluationError(ReproError):
+    """A function representation could not be evaluated on an assignment."""
+
+
+class BudgetExceeded(ReproError):
+    """An instrumented run exceeded its configured operation budget."""

@@ -1,0 +1,43 @@
+"""Function representations beyond truth tables (Corollary 2).
+
+Expressions, DNF/CNF, and gate-level circuits — each evaluable in time
+polynomial in its size, hence each a valid input representation for the
+optimal-ordering algorithms via :func:`to_truth_table`.
+"""
+
+from .ast import FALSE, TRUE, And, Const, Expr, Not, Or, Var, Xor
+from .circuit import Circuit, Gate, ripple_carry_adder_circuit
+from .compile import (
+    compile_cnf,
+    compile_circuit,
+    compile_dnf,
+    compile_expr,
+    compile_to_bdd,
+)
+from .convert import to_truth_table
+from .normal_forms import CNF, DNF
+from .parser import parse
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "TRUE",
+    "FALSE",
+    "parse",
+    "DNF",
+    "CNF",
+    "Circuit",
+    "Gate",
+    "ripple_carry_adder_circuit",
+    "to_truth_table",
+    "compile_expr",
+    "compile_dnf",
+    "compile_cnf",
+    "compile_circuit",
+    "compile_to_bdd",
+]

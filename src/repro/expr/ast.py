@@ -1,0 +1,151 @@
+"""Boolean expression AST.
+
+One of the evaluable representations of Corollary 2: any expression here
+evaluates an assignment in time linear in its size, so its truth table —
+and hence its minimum OBDD — is computable by the core algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Sequence, Tuple
+
+
+class Expr:
+    """Base class of Boolean expression nodes."""
+
+    def evaluate(self, assignment: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[int]:
+        """Indices of the variables occurring in the expression."""
+        raise NotImplementedError
+
+    @property
+    def num_vars(self) -> int:
+        """Smallest ``n`` such that the expression is over ``x_0..x_{n-1}``."""
+        occurring = self.variables()
+        return (max(occurring) + 1) if occurring else 0
+
+    # Operator sugar so expressions compose naturally.
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, other))
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Xor((self, other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """The constant 0 or 1."""
+
+    value: int
+
+    def evaluate(self, assignment: Sequence[int]) -> int:
+        return self.value
+
+    def variables(self) -> FrozenSet[int]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """The projection ``x_index``."""
+
+    index: int
+
+    def evaluate(self, assignment: Sequence[int]) -> int:
+        return int(assignment[self.index]) & 1
+
+    def variables(self) -> FrozenSet[int]:
+        return frozenset({self.index})
+
+    def __repr__(self) -> str:
+        return f"x{self.index}"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def evaluate(self, assignment: Sequence[int]) -> int:
+        return 1 - self.operand.evaluate(assignment)
+
+    def variables(self) -> FrozenSet[int]:
+        return self.operand.variables()
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    operands: Tuple[Expr, ...]
+
+    def evaluate(self, assignment: Sequence[int]) -> int:
+        for op in self.operands:
+            if not op.evaluate(assignment):
+                return 0
+        return 1
+
+    def variables(self) -> FrozenSet[int]:
+        out: FrozenSet[int] = frozenset()
+        for op in self.operands:
+            out |= op.variables()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(repr(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    operands: Tuple[Expr, ...]
+
+    def evaluate(self, assignment: Sequence[int]) -> int:
+        for op in self.operands:
+            if op.evaluate(assignment):
+                return 1
+        return 0
+
+    def variables(self) -> FrozenSet[int]:
+        out: FrozenSet[int] = frozenset()
+        for op in self.operands:
+            out |= op.variables()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Xor(Expr):
+    operands: Tuple[Expr, ...]
+
+    def evaluate(self, assignment: Sequence[int]) -> int:
+        acc = 0
+        for op in self.operands:
+            acc ^= op.evaluate(assignment)
+        return acc
+
+    def variables(self) -> FrozenSet[int]:
+        out: FrozenSet[int] = frozenset()
+        for op in self.operands:
+            out |= op.variables()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " ^ ".join(repr(op) for op in self.operands) + ")"
+
+
+TRUE = Const(1)
+FALSE = Const(0)

@@ -1,0 +1,121 @@
+"""Gate-level combinational circuits (Corollary 2's circuit representation).
+
+A :class:`Circuit` is a topologically-ordered netlist of gates over named
+wires; evaluation is a single forward pass, so a polynomial-size circuit is
+a polynomial-time-evaluable representation in the sense of Corollary 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import EvaluationError, ParseError
+
+_GATES = {
+    "and": lambda inputs: int(all(inputs)),
+    "or": lambda inputs: int(any(inputs)),
+    "not": lambda inputs: 1 - inputs[0],
+    "xor": lambda inputs: sum(inputs) & 1,
+    "nand": lambda inputs: 1 - int(all(inputs)),
+    "nor": lambda inputs: 1 - int(any(inputs)),
+    "xnor": lambda inputs: 1 - (sum(inputs) & 1),
+    "buf": lambda inputs: inputs[0],
+}
+
+
+@dataclass
+class Gate:
+    """One gate: ``output = kind(inputs...)``."""
+
+    kind: str
+    output: str
+    inputs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in _GATES:
+            raise ParseError(f"unknown gate kind {self.kind!r}")
+        if self.kind == "not" and len(self.inputs) != 1:
+            raise ParseError("not-gate takes exactly one input")
+        if not self.inputs:
+            raise ParseError("gate needs at least one input")
+
+
+@dataclass
+class Circuit:
+    """A combinational circuit with declared primary inputs and one output.
+
+    ``inputs[i]`` is the wire bound to variable ``x_i``.
+    """
+
+    inputs: List[str]
+    output: str
+    gates: List[Gate] = field(default_factory=list)
+
+    def add_gate(self, kind: str, output: str, inputs: Sequence[str]) -> "Circuit":
+        """Append a gate (builder style; returns self)."""
+        if output in self.inputs:
+            raise ParseError(f"gate output {output!r} shadows a primary input")
+        if any(gate.output == output for gate in self.gates):
+            raise ParseError(f"wire {output!r} driven twice")
+        self.gates.append(Gate(kind, output, tuple(inputs)))
+        return self
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.inputs)
+
+    def variables(self) -> FrozenSet[int]:
+        return frozenset(range(len(self.inputs)))
+
+    def evaluate(self, assignment: Sequence[int]) -> int:
+        """Forward-evaluate; gates must appear in topological order."""
+        if len(assignment) < len(self.inputs):
+            raise EvaluationError(
+                f"need {len(self.inputs)} input values, got {len(assignment)}"
+            )
+        wires: Dict[str, int] = {
+            name: int(assignment[i]) & 1 for i, name in enumerate(self.inputs)
+        }
+        for gate in self.gates:
+            try:
+                values = [wires[w] for w in gate.inputs]
+            except KeyError as missing:
+                raise EvaluationError(
+                    f"gate {gate.output!r} reads undriven wire {missing}"
+                ) from None
+            wires[gate.output] = _GATES[gate.kind](values)
+        if self.output not in wires:
+            raise EvaluationError(f"output wire {self.output!r} is undriven")
+        return wires[self.output]
+
+
+def ripple_carry_adder_circuit(bits: int, output_bit: int) -> Circuit:
+    """Reference circuit: bit ``output_bit`` of an ``bits``-bit ripple-carry
+    adder (operands at variables ``0..bits-1`` and ``bits..2bits-1``).
+
+    Used by the examples to demonstrate Corollary 2 end to end against
+    :func:`repro.functions.families.adder_bit`.
+    """
+    a = [f"a{i}" for i in range(bits)]
+    b = [f"b{i}" for i in range(bits)]
+    circuit = Circuit(inputs=a + b, output=f"s{output_bit}")
+    carry: Optional[str] = None
+    for i in range(bits):
+        x, y = a[i], b[i]
+        if carry is None:
+            circuit.add_gate("xor", f"s{i}", [x, y])
+            circuit.add_gate("and", f"c{i}", [x, y])
+        else:
+            circuit.add_gate("xor", f"p{i}", [x, y])
+            circuit.add_gate("xor", f"s{i}", [f"p{i}", carry])
+            circuit.add_gate("and", f"g{i}", [x, y])
+            circuit.add_gate("and", f"t{i}", [f"p{i}", carry])
+            circuit.add_gate("or", f"c{i}", [f"g{i}", f"t{i}"])
+        carry = f"c{i}"
+    if output_bit == bits:
+        assert carry is not None
+        circuit.add_gate("buf", f"s{bits}", [carry])
+    elif not 0 <= output_bit < bits:
+        raise ParseError(f"output bit {output_bit} out of range")
+    return circuit

@@ -1,0 +1,118 @@
+"""DNF and CNF representations (Corollary 2's polynomial-size normal forms).
+
+A literal is an ``(index, polarity)`` pair: ``(3, True)`` means ``x3``,
+``(3, False)`` means ``~x3``.  Both forms evaluate an assignment in time
+linear in their size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+from ..errors import DimensionError, ParseError
+
+Literal = Tuple[int, bool]
+
+
+def _check_clause(literals: Sequence[Literal]) -> Tuple[Literal, ...]:
+    seen = set()
+    for index, polarity in literals:
+        if index < 0:
+            raise DimensionError(f"negative variable index {index}")
+        if (index, not polarity) in seen:
+            raise ParseError(
+                f"clause contains contradictory literals on x{index}"
+            )
+        seen.add((index, polarity))
+    return tuple(dict.fromkeys(literals))
+
+
+@dataclass(frozen=True)
+class DNF:
+    """Disjunctive normal form: OR of AND-terms."""
+
+    terms: Tuple[Tuple[Literal, ...], ...]
+
+    @classmethod
+    def of(cls, terms: Sequence[Sequence[Literal]]) -> "DNF":
+        return cls(tuple(_check_clause(t) for t in terms))
+
+    def evaluate(self, assignment: Sequence[int]) -> int:
+        for term in self.terms:
+            if all(
+                (int(assignment[i]) & 1) == int(polarity) for i, polarity in term
+            ):
+                return 1
+        return 0
+
+    def variables(self) -> FrozenSet[int]:
+        return frozenset(i for term in self.terms for i, _ in term)
+
+    @property
+    def num_vars(self) -> int:
+        occurring = self.variables()
+        return (max(occurring) + 1) if occurring else 0
+
+    def __repr__(self) -> str:
+        if not self.terms:
+            return "DNF(FALSE)"
+        rendered = [
+            " & ".join(("" if p else "~") + f"x{i}" for i, p in term) or "1"
+            for term in self.terms
+        ]
+        return "DNF(" + " | ".join(rendered) + ")"
+
+
+@dataclass(frozen=True)
+class CNF:
+    """Conjunctive normal form: AND of OR-clauses."""
+
+    clauses: Tuple[Tuple[Literal, ...], ...]
+
+    @classmethod
+    def of(cls, clauses: Sequence[Sequence[Literal]]) -> "CNF":
+        return cls(tuple(_check_clause(c) for c in clauses))
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse DIMACS CNF (1-indexed, sign = polarity; 0 terminates)."""
+        clauses: List[List[Literal]] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith(("c", "p", "%")):
+                continue
+            clause: List[Literal] = []
+            for token in line.split():
+                value = int(token)
+                if value == 0:
+                    break
+                clause.append((abs(value) - 1, value > 0))
+            if clause:
+                clauses.append(clause)
+        return cls.of(clauses)
+
+    def evaluate(self, assignment: Sequence[int]) -> int:
+        for clause in self.clauses:
+            if not any(
+                (int(assignment[i]) & 1) == int(polarity) for i, polarity in clause
+            ):
+                return 0
+        return 1
+
+    def variables(self) -> FrozenSet[int]:
+        return frozenset(i for clause in self.clauses for i, _ in clause)
+
+    @property
+    def num_vars(self) -> int:
+        occurring = self.variables()
+        return (max(occurring) + 1) if occurring else 0
+
+    def __repr__(self) -> str:
+        if not self.clauses:
+            return "CNF(TRUE)"
+        rendered = [
+            "(" + (" | ".join(("" if p else "~") + f"x{i}" for i, p in clause) or "0") + ")"
+            for clause in self.clauses
+        ]
+        return "CNF(" + " & ".join(rendered) + ")"

@@ -1,0 +1,124 @@
+"""Recursive-descent parser for Boolean expressions.
+
+Grammar (precedence low to high: ``|``, ``^``, ``&``, ``~``)::
+
+    expr   := xor ( "|" xor )*
+    xor    := term ( "^" term )*
+    term   := factor ( "&" factor )*
+    factor := "~" factor | "(" expr ")" | "0" | "1" | variable
+
+Variables are written ``x<k>`` with 0-based index ``k`` (``x0``, ``x1``,
+...); bare identifiers are also accepted and assigned indices in order of
+first appearance.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ParseError
+from .ast import And, Const, Expr, Not, Or, Var, Xor
+
+_TOKEN = re.compile(r"\s*(?:(?P<op>[|^&~()])|(?P<name>[A-Za-z_][A-Za-z_0-9]*)|(?P<const>[01]))")
+
+
+def tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            trailing = text[position:].strip()
+            if not trailing:
+                break
+            raise ParseError(f"unexpected input at position {position}: {trailing!r}")
+        if match.group("op"):
+            tokens.append(("op", match.group("op")))
+        elif match.group("name"):
+            tokens.append(("name", match.group("name")))
+        else:
+            tokens.append(("const", match.group("const")))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.position = 0
+        self.name_to_index: Dict[str, int] = {}
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of expression")
+        self.position += 1
+        return token
+
+    def expect_op(self, op: str) -> None:
+        token = self.take()
+        if token != ("op", op):
+            raise ParseError(f"expected {op!r}, got {token[1]!r}")
+
+    # grammar rules -----------------------------------------------------
+    def parse_expr(self) -> Expr:
+        parts = [self.parse_xor()]
+        while self.peek() == ("op", "|"):
+            self.take()
+            parts.append(self.parse_xor())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def parse_xor(self) -> Expr:
+        parts = [self.parse_term()]
+        while self.peek() == ("op", "^"):
+            self.take()
+            parts.append(self.parse_term())
+        return parts[0] if len(parts) == 1 else Xor(tuple(parts))
+
+    def parse_term(self) -> Expr:
+        parts = [self.parse_factor()]
+        while self.peek() == ("op", "&"):
+            self.take()
+            parts.append(self.parse_factor())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def parse_factor(self) -> Expr:
+        kind, value = self.take()
+        if (kind, value) == ("op", "~"):
+            return Not(self.parse_factor())
+        if (kind, value) == ("op", "("):
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return inner
+        if kind == "const":
+            return Const(int(value))
+        if kind == "name":
+            return Var(self.variable_index(value))
+        raise ParseError(f"unexpected token {value!r}")
+
+    def variable_index(self, name: str) -> int:
+        match = re.fullmatch(r"x(\d+)", name)
+        if match:
+            return int(match.group(1))
+        if name not in self.name_to_index:
+            self.name_to_index[name] = len(self.name_to_index)
+        return self.name_to_index[name]
+
+
+def parse(text: str) -> Expr:
+    """Parse ``text`` into an :class:`~repro.expr.ast.Expr`.
+
+    >>> parse("x0 & x1 | x2 & x3").num_vars
+    4
+    """
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expr()
+    if parser.peek() is not None:
+        raise ParseError(f"trailing input: {parser.tokens[parser.position:]}")
+    return expr

@@ -1,0 +1,118 @@
+"""Named benchmark circuits, built programmatically as gate netlists.
+
+Small classics from the logic-synthesis benchmark tradition, each
+returned as a :class:`~repro.expr.circuit.Circuit` so they exercise the
+Corollary 2 pipeline (circuit -> truth table -> optimal ordering) and the
+symbolic compiler end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..expr.circuit import Circuit
+
+
+def c17() -> Circuit:
+    """ISCAS-85 c17: 5 inputs, 6 NAND gates, 2 outputs (we expose n22;
+    use ``output="n23"`` in the compilers for the other).
+
+    The smallest standard benchmark netlist; structure follows the
+    published gate list.
+    """
+    circuit = Circuit(
+        inputs=["n1", "n2", "n3", "n6", "n7"], output="n22"
+    )
+    circuit.add_gate("nand", "n10", ["n1", "n3"])
+    circuit.add_gate("nand", "n11", ["n3", "n6"])
+    circuit.add_gate("nand", "n16", ["n2", "n11"])
+    circuit.add_gate("nand", "n19", ["n11", "n7"])
+    circuit.add_gate("nand", "n22", ["n10", "n16"])
+    circuit.add_gate("nand", "n23", ["n16", "n19"])
+    return circuit
+
+
+def majority_gate() -> Circuit:
+    """Three-input majority from ANDs and ORs (the carry cell)."""
+    circuit = Circuit(inputs=["a", "b", "c"], output="maj")
+    circuit.add_gate("and", "ab", ["a", "b"])
+    circuit.add_gate("and", "ac", ["a", "c"])
+    circuit.add_gate("and", "bc", ["b", "c"])
+    circuit.add_gate("or", "ab_ac", ["ab", "ac"])
+    circuit.add_gate("or", "maj", ["ab_ac", "bc"])
+    return circuit
+
+
+def full_adder_carry_chain(bits: int) -> Circuit:
+    """The carry-out of a ``bits``-bit ripple adder built from majority
+    cells — strongly ordering-sensitive (interleave vs separate)."""
+    a = [f"a{i}" for i in range(bits)]
+    b = [f"b{i}" for i in range(bits)]
+    circuit = Circuit(inputs=a + b, output=f"c{bits - 1}")
+    carry = None
+    for i in range(bits):
+        if carry is None:
+            circuit.add_gate("and", f"c{i}", [a[i], b[i]])
+        else:
+            circuit.add_gate("and", f"g{i}", [a[i], b[i]])
+            circuit.add_gate("xor", f"p{i}", [a[i], b[i]])
+            circuit.add_gate("and", f"t{i}", [f"p{i}", carry])
+            circuit.add_gate("or", f"c{i}", [f"g{i}", f"t{i}"])
+        carry = f"c{i}"
+    return circuit
+
+
+def parity_tree(leaves: int) -> Circuit:
+    """Balanced XOR tree over ``leaves`` inputs."""
+    inputs = [f"x{i}" for i in range(leaves)]
+    circuit = Circuit(inputs=list(inputs), output="p")
+    frontier: List[str] = list(inputs)
+    counter = 0
+    while len(frontier) > 1:
+        next_frontier: List[str] = []
+        for i in range(0, len(frontier) - 1, 2):
+            wire = f"t{counter}"
+            counter += 1
+            circuit.add_gate("xor", wire, [frontier[i], frontier[i + 1]])
+            next_frontier.append(wire)
+        if len(frontier) % 2:
+            next_frontier.append(frontier[-1])
+        frontier = next_frontier
+    circuit.add_gate("buf", "p", [frontier[0]])
+    return circuit
+
+
+def mux_tree(select_bits: int) -> Circuit:
+    """A ``2^k``-way multiplexer as a tree of 2:1 muxes."""
+    k = select_bits
+    selects = [f"s{i}" for i in range(k)]
+    data = [f"d{i}" for i in range(1 << k)]
+    circuit = Circuit(inputs=selects + data, output="y")
+    frontier: List[str] = list(data)
+    counter = 0
+    for level in range(k):
+        select = selects[level]
+        circuit.add_gate("not", f"ns{level}", [select])
+        next_frontier: List[str] = []
+        for i in range(0, len(frontier), 2):
+            low, high = frontier[i], frontier[i + 1]
+            t0 = f"m{counter}a"
+            t1 = f"m{counter}b"
+            out = f"m{counter}"
+            counter += 1
+            circuit.add_gate("and", t0, [f"ns{level}", low])
+            circuit.add_gate("and", t1, [select, high])
+            circuit.add_gate("or", out, [t0, t1])
+            next_frontier.append(out)
+        frontier = next_frontier
+    circuit.add_gate("buf", "y", [frontier[0]])
+    return circuit
+
+
+NAMED_CIRCUITS = {
+    "c17": c17,
+    "majority": majority_gate,
+    "carry4": lambda: full_adder_carry_chain(4),
+    "parity8": lambda: parity_tree(8),
+    "mux2": lambda: mux_tree(2),
+}

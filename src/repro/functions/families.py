@@ -1,0 +1,187 @@
+"""Named Boolean function families used across examples, tests and benches.
+
+Each constructor returns a :class:`~repro.truth_table.TruthTable`.  The
+families are the classics of the OBDD-ordering literature, chosen to match
+the functions the paper discusses:
+
+* :func:`achilles_heel` — the paper's running example
+  ``x1 x2 + x3 x4 + ... + x_{2n-1} x_{2n}`` (Figure 1), whose OBDD size is
+  ``2n + 2`` under the pairs-adjacent ordering and ``2^{n+1}`` under the
+  odds-then-evens ordering;
+* :func:`multiplication_bit` — the multiplication function, exponential
+  under *every* ordering [Bry91];
+* :func:`threshold` — a threshold function (cf. [HTKY97]);
+* :func:`hidden_weighted_bit` — the classic hard-for-OBDD benchmark;
+* plus parity, multiplexer, adder, comparator and interval functions as
+  ordering-sensitivity showcases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DimensionError
+from ..truth_table import TruthTable
+
+
+def achilles_heel(pairs: int) -> TruthTable:
+    """The paper's Figure 1 function over ``2 * pairs`` variables:
+    ``(x0 & x1) | (x2 & x3) | ...`` (0-indexed pairs-adjacent)."""
+    if pairs < 1:
+        raise DimensionError("need at least one pair")
+    n = 2 * pairs
+    a = np.arange(1 << n, dtype=np.int64)
+    acc = np.zeros(1 << n, dtype=bool)
+    for p in range(pairs):
+        acc |= ((a >> (2 * p)) & 1).astype(bool) & ((a >> (2 * p + 1)) & 1).astype(bool)
+    return TruthTable(n, acc.astype(np.int64))
+
+
+def achilles_good_order(pairs: int) -> List[int]:
+    """The interleaved-pairs ordering achieving size ``2n + 2``
+    (paper's ``(x1, x2, ..., x_{2n})``)."""
+    return list(range(2 * pairs))
+
+
+def achilles_bad_order(pairs: int) -> List[int]:
+    """The odds-then-evens ordering forcing size ``2^{n+1}``
+    (paper's ``(x1, x3, ..., x_{2n-1}, x2, x4, ..., x_{2n})``)."""
+    return list(range(0, 2 * pairs, 2)) + list(range(1, 2 * pairs, 2))
+
+
+def achilles_good_size(pairs: int) -> int:
+    """Closed-form total size under the good ordering: ``2n + 2`` nodes
+    for ``n`` pairs (2 internal per pair + 2 terminals)."""
+    return 2 * pairs + 2
+
+
+def achilles_bad_size(pairs: int) -> int:
+    """Closed-form total size under the bad ordering: ``2^{n+1}``."""
+    return 2 ** (pairs + 1)
+
+
+def parity(n: int) -> TruthTable:
+    """XOR of all variables — total size ``2n + 1`` (``2n - 1`` internal
+    nodes) under *every* ordering: the canonical ordering-insensitive
+    function."""
+    a = np.arange(1 << n, dtype=np.int64)
+    bits = np.zeros(1 << n, dtype=np.int64)
+    for i in range(n):
+        bits ^= (a >> i) & 1
+    return TruthTable(n, bits)
+
+
+def threshold(n: int, k: int) -> TruthTable:
+    """``T_k^n``: 1 iff at least ``k`` inputs are 1 (a symmetric function)."""
+    if not 0 <= k <= n + 1:
+        raise DimensionError(f"threshold {k} out of range for n={n}")
+    a = np.arange(1 << n, dtype=np.uint64)
+    weights = np.zeros(1 << n, dtype=np.int64)
+    for i in range(n):
+        weights += ((a >> np.uint64(i)) & np.uint64(1)).astype(np.int64)
+    return TruthTable(n, (weights >= k).astype(np.int64))
+
+
+def majority(n: int) -> TruthTable:
+    """Majority: 1 iff more than half the inputs are 1."""
+    return threshold(n, n // 2 + 1)
+
+
+def hidden_weighted_bit(n: int) -> TruthTable:
+    """``HWB(x) = x_{wt(x)}`` (1-indexed; 0 when ``wt(x) = 0``) — the
+    classic function with no polynomial-size OBDD ordering."""
+    size = 1 << n
+    values = np.zeros(size, dtype=np.int64)
+    for a in range(size):
+        weight = bin(a).count("1")
+        if weight:
+            values[a] = (a >> (weight - 1)) & 1
+    return TruthTable(n, values)
+
+
+def multiplexer(select_bits: int) -> TruthTable:
+    """``MUX_k``: ``k`` select variables (low indices) choose one of
+    ``2^k`` data variables.  Total ``k + 2^k`` variables — a function whose
+    optimal ordering interleaves selects before data."""
+    k = select_bits
+    n = k + (1 << k)
+    if n > 24:
+        raise DimensionError("multiplexer too large to tabulate")
+    values = np.zeros(1 << n, dtype=np.int64)
+    for a in range(1 << n):
+        sel = a & ((1 << k) - 1)
+        values[a] = (a >> (k + sel)) & 1
+    return TruthTable(n, values)
+
+
+def adder_bit(bits: int, output: int) -> TruthTable:
+    """Bit ``output`` of the sum of two ``bits``-bit integers.
+
+    Variables: ``x_0..x_{bits-1}`` are the first operand (little-endian),
+    ``x_{bits}..x_{2 bits - 1}`` the second.  ``output`` may be ``bits``
+    (the carry-out).  Interleaved operand orderings are optimal; separated
+    operands blow up — a standard ordering-sensitivity benchmark.
+    """
+    if not 0 <= output <= bits:
+        raise DimensionError(f"output bit {output} out of range")
+    n = 2 * bits
+    a = np.arange(1 << n, dtype=np.int64)
+    x = a & ((1 << bits) - 1)
+    y = a >> bits
+    return TruthTable(n, ((x + y) >> output) & 1)
+
+
+def comparator(bits: int) -> TruthTable:
+    """``[x < y]`` over two ``bits``-bit operands (layout as
+    :func:`adder_bit`)."""
+    n = 2 * bits
+    a = np.arange(1 << n, dtype=np.int64)
+    x = a & ((1 << bits) - 1)
+    y = a >> bits
+    return TruthTable(n, (x < y).astype(np.int64))
+
+
+def equality(bits: int) -> TruthTable:
+    """``[x == y]`` over two ``bits``-bit operands."""
+    n = 2 * bits
+    a = np.arange(1 << n, dtype=np.int64)
+    x = a & ((1 << bits) - 1)
+    y = a >> bits
+    return TruthTable(n, (x == y).astype(np.int64))
+
+
+def multiplication_bit(bits: int, output: int) -> TruthTable:
+    """Bit ``output`` of the product of two ``bits``-bit integers —
+    Bryant's function with exponential OBDDs under every ordering.
+    The middle bit (``output = bits - 1``) is the hard one."""
+    if not 0 <= output < 2 * bits:
+        raise DimensionError(f"output bit {output} out of range")
+    n = 2 * bits
+    a = np.arange(1 << n, dtype=np.int64)
+    x = a & ((1 << bits) - 1)
+    y = a >> bits
+    return TruthTable(n, ((x * y) >> output) & 1)
+
+
+def interval(n: int, low: int, high: int) -> TruthTable:
+    """1 iff the integer value of the input (little-endian) lies in
+    ``[low, high]`` — small OBDDs under the natural ordering."""
+    if not 0 <= low <= high < (1 << n):
+        raise DimensionError("bad interval bounds")
+    a = np.arange(1 << n, dtype=np.int64)
+    return TruthTable(n, ((a >= low) & (a <= high)).astype(np.int64))
+
+
+def conjunction_of_pairs(pair_list: Sequence[Tuple[int, int]], n: int) -> TruthTable:
+    """OR of ANDs over arbitrary variable pairs — the general form of the
+    achilles-heel family, for constructing instances whose optimal
+    ordering is a nontrivial matching."""
+    a = np.arange(1 << n, dtype=np.int64)
+    acc = np.zeros(1 << n, dtype=bool)
+    for u, v in pair_list:
+        if not (0 <= u < n and 0 <= v < n):
+            raise DimensionError(f"pair ({u}, {v}) out of range")
+        acc |= (((a >> u) & 1) & ((a >> v) & 1)).astype(bool)
+    return TruthTable(n, acc.astype(np.int64))

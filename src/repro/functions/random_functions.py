@@ -1,0 +1,74 @@
+"""Random function generators with reproducible seeds.
+
+Random functions are the worst case for ordering heuristics (no structure
+to exploit) and the average case for the FS DP (its cost is input-
+independent); the benches sweep over these.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import DimensionError
+from ..truth_table import TruthTable
+
+
+def random_boolean(n: int, seed: Optional[int] = None) -> TruthTable:
+    """Uniformly random Boolean function on ``n`` variables."""
+    return TruthTable.random(n, seed=seed)
+
+
+def random_sparse(n: int, num_ones: int, seed: Optional[int] = None) -> TruthTable:
+    """Random function with exactly ``num_ones`` satisfying assignments.
+
+    Sparse on-sets are the regime where ZDDs beat OBDDs — used by the
+    ZDD-vs-BDD benches.
+    """
+    size = 1 << n
+    if not 0 <= num_ones <= size:
+        raise DimensionError(f"num_ones {num_ones} out of range for n={n}")
+    rng = np.random.default_rng(seed)
+    ones = rng.choice(size, size=num_ones, replace=False)
+    values = np.zeros(size, dtype=np.int64)
+    values[ones] = 1
+    return TruthTable(n, values)
+
+
+def random_multivalued(
+    n: int, num_values: int, seed: Optional[int] = None
+) -> TruthTable:
+    """Uniformly random function into ``{0, ..., num_values - 1}`` (for the
+    MTBDD experiments of Remark 2)."""
+    if num_values < 1:
+        raise DimensionError("need at least one value")
+    return TruthTable.random(n, seed=seed, num_values=num_values)
+
+
+def random_dnf_function(
+    n: int, num_terms: int, literals_per_term: int, seed: Optional[int] = None
+) -> TruthTable:
+    """Random monotone-ish DNF: OR of random terms of random literals.
+
+    Structured randomness: unlike uniform random functions these have
+    meaningful optimal orderings, making them good heuristic-gap probes.
+    """
+    rng = np.random.default_rng(seed)
+    a = np.arange(1 << n, dtype=np.int64)
+    acc = np.zeros(1 << n, dtype=bool)
+    for _ in range(num_terms):
+        variables = rng.choice(n, size=min(literals_per_term, n), replace=False)
+        signs = rng.integers(0, 2, size=variables.shape[0])
+        term = np.ones(1 << n, dtype=bool)
+        for v, s in zip(variables, signs):
+            bit = ((a >> int(v)) & 1).astype(bool)
+            term &= bit if s else ~bit
+        acc |= term
+    return TruthTable(n, acc.astype(np.int64))
+
+
+def random_ordering(n: int, seed: Optional[int] = None) -> List[int]:
+    """A uniformly random variable ordering."""
+    rng = np.random.default_rng(seed)
+    return [int(v) for v in rng.permutation(n)]

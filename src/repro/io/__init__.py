@@ -1,0 +1,41 @@
+"""Interchange formats: PLA, BLIF, DIMACS (via ``repro.expr.CNF``), and
+JSON diagram serialization."""
+
+from .bench_format import C17_BENCH, parse_bench, read_bench, write_bench
+from .blif import LogicNetwork, NamesNode, parse_blif, read_blif
+from .pla import PLA, parse_pla, read_pla, write_pla
+from .synthesis import (
+    circuit_to_verilog,
+    diagram_to_mux_circuit,
+    diagram_to_verilog,
+    mux_cost,
+)
+from .serialize import (
+    diagram_from_json,
+    diagram_to_json,
+    load_diagram,
+    save_diagram,
+)
+
+__all__ = [
+    "PLA",
+    "parse_pla",
+    "read_pla",
+    "write_pla",
+    "LogicNetwork",
+    "NamesNode",
+    "parse_blif",
+    "read_blif",
+    "diagram_to_json",
+    "diagram_from_json",
+    "save_diagram",
+    "load_diagram",
+    "diagram_to_mux_circuit",
+    "circuit_to_verilog",
+    "diagram_to_verilog",
+    "mux_cost",
+    "parse_bench",
+    "read_bench",
+    "write_bench",
+    "C17_BENCH",
+]

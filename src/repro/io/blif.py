@@ -1,0 +1,170 @@
+"""BLIF (Berkeley Logic Interchange Format), combinational subset.
+
+Parses ``.model/.inputs/.outputs/.names/.end`` into a
+:class:`LogicNetwork` — a netlist of single-output PLA nodes — that
+exposes the ``num_vars``/``evaluate`` protocol, so any combinational BLIF
+is a Corollary 2 representation and a valid optimizer input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import EvaluationError, ParseError
+from ..truth_table import TruthTable
+
+
+@dataclass
+class NamesNode:
+    """One ``.names`` node: a single-output cube cover."""
+
+    inputs: Tuple[str, ...]
+    output: str
+    cubes: Tuple[Tuple[str, str], ...]
+    """``(input_pattern over 01-, output_value '0' or '1')`` rows."""
+
+    def evaluate(self, values: Dict[str, int]) -> int:
+        try:
+            bits = [values[w] for w in self.inputs]
+        except KeyError as missing:
+            raise EvaluationError(
+                f".names {self.output} reads undriven wire {missing}"
+            ) from None
+        # BLIF semantics: if any cube matches, output its value (all
+        # cubes of a node carry the same value); otherwise the complement.
+        cover_value = int(self.cubes[0][1]) if self.cubes else 1
+        for pattern, _ in self.cubes:
+            if all(
+                symbol == "-" or int(symbol) == bit
+                for symbol, bit in zip(pattern, bits)
+            ):
+                return cover_value
+        return 1 - cover_value if self.cubes else 0
+
+
+@dataclass
+class LogicNetwork:
+    """A combinational BLIF model."""
+
+    name: str
+    inputs: List[str]
+    outputs: List[str]
+    nodes: List[NamesNode] = field(default_factory=list)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.inputs)
+
+    def evaluate(self, assignment: Sequence[int], output: Optional[str] = None) -> int:
+        if len(assignment) < len(self.inputs):
+            raise EvaluationError(
+                f"need {len(self.inputs)} input values, got {len(assignment)}"
+            )
+        values: Dict[str, int] = {
+            wire: int(assignment[i]) & 1 for i, wire in enumerate(self.inputs)
+        }
+        for node in self.nodes:
+            values[node.output] = node.evaluate(values)
+        target = output if output is not None else self.outputs[0]
+        if target not in values:
+            raise EvaluationError(f"output {target!r} is undriven")
+        return values[target]
+
+    def truth_table(self, output: Optional[str] = None) -> TruthTable:
+        n = self.num_vars
+        return TruthTable.from_evaluator(
+            n,
+            lambda a: self.evaluate([(a >> i) & 1 for i in range(n)], output),
+        )
+
+
+def parse_blif(text: str) -> LogicNetwork:
+    """Parse a single combinational ``.model`` (latches unsupported)."""
+    name = "top"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    nodes: List[NamesNode] = []
+    current: Optional[Tuple[Tuple[str, ...], str, List[Tuple[str, str]]]] = None
+
+    def flush() -> None:
+        nonlocal current
+        if current is not None:
+            node_inputs, node_output, cubes = current
+            values = {value for _, value in cubes}
+            if len(values) > 1:
+                raise ParseError(
+                    f".names {node_output} mixes on-set and off-set rows"
+                )
+            nodes.append(NamesNode(node_inputs, node_output, tuple(cubes)))
+            current = None
+
+    # Join continuation lines first.
+    logical_lines: List[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        logical_lines.append(pending + line)
+        pending = ""
+    if pending:
+        logical_lines.append(pending)
+
+    for line in logical_lines:
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            keyword = parts[0]
+            if keyword == ".model":
+                name = parts[1] if len(parts) > 1 else name
+            elif keyword == ".inputs":
+                flush()
+                inputs.extend(parts[1:])
+            elif keyword == ".outputs":
+                flush()
+                outputs.extend(parts[1:])
+            elif keyword == ".names":
+                flush()
+                if len(parts) < 2:
+                    raise ParseError(".names needs at least an output")
+                current = (tuple(parts[1:-1]), parts[-1], [])
+            elif keyword == ".end":
+                flush()
+                break
+            elif keyword in (".latch", ".subckt"):
+                raise ParseError(f"{keyword} is not supported (combinational only)")
+            else:
+                raise ParseError(f"unknown BLIF directive {keyword!r}")
+            continue
+        if current is None:
+            raise ParseError(f"cube line outside .names: {line!r}")
+        fields = line.split()
+        node_inputs = current[0]
+        if len(node_inputs) == 0:
+            # constant node: single field '1' or '0'... or empty cover
+            if len(fields) != 1 or fields[0] not in ("0", "1"):
+                raise ParseError(f"bad constant row {line!r}")
+            current[2].append(("", fields[0]))
+            continue
+        if len(fields) != 2:
+            raise ParseError(f"malformed cube row {line!r}")
+        pattern, value = fields
+        if len(pattern) != len(node_inputs) or any(c not in "01-" for c in pattern):
+            raise ParseError(f"bad cube pattern {pattern!r}")
+        if value not in ("0", "1"):
+            raise ParseError(f"bad cube value {value!r}")
+        current[2].append((pattern, value))
+    flush()
+
+    if not inputs or not outputs:
+        raise ParseError("BLIF is missing .inputs or .outputs")
+    return LogicNetwork(name, inputs, outputs, nodes)
+
+
+def read_blif(path) -> LogicNetwork:
+    with open(path) as handle:
+        return parse_blif(handle.read())

@@ -1,0 +1,102 @@
+"""JSON (de)serialization of standalone diagrams.
+
+Lets minimum diagrams produced by the optimizer be stored, diffed, and
+reloaded without re-running the DP — the artifact a downstream tool
+consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Tuple
+
+from ..core.reconstruct import Diagram
+from ..core.spec import ReductionRule
+from ..errors import ParseError
+
+_FORMAT = "repro-diagram-v1"
+
+
+def diagram_to_json(diagram: Diagram, indent: int = 2) -> str:
+    """Serialize a :class:`~repro.core.reconstruct.Diagram` to JSON."""
+    payload = {
+        "format": _FORMAT,
+        "n": diagram.n,
+        "rule": diagram.rule.value,
+        "order": list(diagram.order),
+        "root": diagram.root,
+        "num_terminals": diagram.num_terminals,
+        "terminal_values": list(diagram.terminal_values),
+        "nodes": {
+            str(node_id): [var, lo, hi]
+            for node_id, (var, lo, hi) in sorted(diagram.nodes.items())
+        },
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def diagram_from_json(text: str) -> Diagram:
+    """Inverse of :func:`diagram_to_json`, with structural validation."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ParseError(f"not valid JSON: {error}") from None
+    if payload.get("format") != _FORMAT:
+        raise ParseError(f"unknown diagram format {payload.get('format')!r}")
+    try:
+        n = int(payload["n"])
+        rule = ReductionRule(payload["rule"])
+        order = tuple(int(v) for v in payload["order"])
+        root = int(payload["root"])
+        num_terminals = int(payload["num_terminals"])
+        terminal_values = [int(v) for v in payload["terminal_values"]]
+        nodes: Dict[int, Tuple[int, int, int]] = {
+            int(node_id): (int(triple[0]), int(triple[1]), int(triple[2]))
+            for node_id, triple in payload["nodes"].items()
+        }
+    except (KeyError, TypeError, ValueError) as error:
+        raise ParseError(f"malformed diagram payload: {error}") from None
+
+    if sorted(order) != list(range(n)):
+        raise ParseError(f"order {order!r} is not a permutation of range({n})")
+    if len(terminal_values) != num_terminals:
+        raise ParseError("terminal_values length disagrees with num_terminals")
+    # For CBDD diagrams the root and children are edges (node << 1 | c)
+    # over the single terminal node 0; otherwise they are plain ids.
+    if rule is ReductionRule.CBDD:
+        def target_known(reference: int) -> bool:
+            node = reference >> 1
+            return node == 0 or node in nodes
+    else:
+        def target_known(reference: int) -> bool:
+            return reference < num_terminals or reference in nodes
+
+    for node_id, (var, lo, hi) in nodes.items():
+        if node_id < num_terminals:
+            raise ParseError(f"node id {node_id} collides with terminals")
+        if not 0 <= var < n:
+            raise ParseError(f"node {node_id} tests out-of-range variable {var}")
+        for child in (lo, hi):
+            if not target_known(child):
+                raise ParseError(f"node {node_id} references missing child {child}")
+    if not target_known(root):
+        raise ParseError(f"root {root} is not a known node")
+    return Diagram(
+        n=n,
+        rule=rule,
+        order=order,
+        root=root,
+        num_terminals=num_terminals,
+        terminal_values=terminal_values,
+        nodes=nodes,
+    )
+
+
+def save_diagram(diagram: Diagram, path) -> None:
+    with open(path, "w") as handle:
+        handle.write(diagram_to_json(diagram))
+
+
+def load_diagram(path) -> Diagram:
+    with open(path) as handle:
+        return diagram_from_json(handle.read())

@@ -1,0 +1,134 @@
+"""Netlist synthesis from diagrams: BDD -> multiplexer circuit -> Verilog.
+
+The classic "BDD synthesis" step of a logic-synthesis flow: every
+internal node of a reduced OBDD is one 2:1 multiplexer selected by its
+variable, so a minimum OBDD *is* a minimum mux netlist for that topology
+— which is why the optimal-ordering problem matters to synthesis in the
+first place.  This module converts a
+:class:`~repro.core.reconstruct.Diagram` into a
+:class:`~repro.expr.circuit.Circuit` (verifiable with the library's own
+evaluators), and renders circuits as structural Verilog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.reconstruct import Diagram
+from ..core.spec import ReductionRule
+from ..errors import DimensionError
+from ..expr.circuit import Circuit
+
+
+def diagram_to_mux_circuit(diagram: Diagram) -> Circuit:
+    """Synthesize a plain-BDD diagram into a 2:1-mux netlist.
+
+    Each node ``u`` testing ``x_v`` becomes
+    ``wire_u = (x_v & hi) | (~x_v & lo)``; terminals become constant
+    wires.  Only :attr:`ReductionRule.BDD` diagrams are supported (ZDD
+    skips and complement edges need different cell libraries).
+    """
+    if diagram.rule is not ReductionRule.BDD:
+        raise DimensionError(
+            f"mux synthesis supports the plain BDD rule, not {diagram.rule.value}"
+        )
+    inputs = [f"x{v}" for v in range(diagram.n)]
+    circuit = Circuit(inputs=list(inputs), output="f")
+
+    # Constant rails from an arbitrary input (x & ~x / x | ~x).
+    rail_input = inputs[0] if inputs else None
+    if rail_input is None:
+        raise DimensionError("cannot synthesize a zero-variable diagram")
+    circuit.add_gate("not", "nrail", [rail_input])
+    circuit.add_gate("and", "const0", [rail_input, "nrail"])
+    circuit.add_gate("or", "const1", [rail_input, "nrail"])
+
+    wire_of: Dict[int, str] = {}
+    for terminal in range(diagram.num_terminals):
+        value = diagram.terminal_values[terminal]
+        wire_of[terminal] = "const1" if value else "const0"
+
+    inverted: Dict[int, str] = {}
+
+    def inverter(variable: int) -> str:
+        if variable not in inverted:
+            name = f"n_x{variable}"
+            circuit.add_gate("not", name, [f"x{variable}"])
+            inverted[variable] = name
+        return inverted[variable]
+
+    # Children precede parents in the chain-construction id order.
+    for node_id in sorted(diagram.nodes):
+        variable, lo, hi = diagram.nodes[node_id]
+        select = f"x{variable}"
+        t_hi = f"m{node_id}_hi"
+        t_lo = f"m{node_id}_lo"
+        out = f"m{node_id}"
+        circuit.add_gate("and", t_hi, [select, wire_of[hi]])
+        circuit.add_gate("and", t_lo, [inverter(variable), wire_of[lo]])
+        circuit.add_gate("or", out, [t_hi, t_lo])
+        wire_of[node_id] = out
+
+    circuit.add_gate("buf", "f", [wire_of[diagram.root]])
+    return circuit
+
+
+def mux_cost(diagram: Diagram) -> int:
+    """Number of 2:1 muxes the synthesized netlist uses (= internal
+    nodes) — the cost function minimized by optimal ordering."""
+    return diagram.mincost
+
+
+_VERILOG_GATES = {
+    "and": "and",
+    "or": "or",
+    "not": "not",
+    "xor": "xor",
+    "nand": "nand",
+    "nor": "nor",
+    "xnor": "xnor",
+}
+
+
+def _sanitize(name: str) -> str:
+    out = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if not out or out[0].isdigit():
+        out = "w_" + out
+    return out
+
+
+def circuit_to_verilog(circuit: Circuit, module_name: str = "top") -> str:
+    """Render a :class:`~repro.expr.circuit.Circuit` as structural Verilog.
+
+    ``buf`` gates become continuous assignments; everything else maps to
+    Verilog gate primitives.
+    """
+    inputs = [_sanitize(w) for w in circuit.inputs]
+    output = _sanitize(circuit.output)
+    lines: List[str] = [
+        f"module {module_name} ({', '.join(inputs + [output])});",
+        "  input " + ", ".join(inputs) + ";",
+        f"  output {output};",
+    ]
+    wires = sorted(
+        {_sanitize(g.output) for g in circuit.gates} - set(inputs) - {output}
+    )
+    if wires:
+        lines.append("  wire " + ", ".join(wires) + ";")
+    for index, gate in enumerate(circuit.gates):
+        out = _sanitize(gate.output)
+        ins = [_sanitize(w) for w in gate.inputs]
+        if gate.kind == "buf":
+            lines.append(f"  assign {out} = {ins[0]};")
+        else:
+            primitive = _VERILOG_GATES[gate.kind]
+            lines.append(
+                f"  {primitive} g{index} ({out}, {', '.join(ins)});"
+            )
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def diagram_to_verilog(diagram: Diagram, module_name: str = "minimum_obdd") -> str:
+    """One-call synthesis: minimum diagram -> mux netlist -> Verilog."""
+    return circuit_to_verilog(diagram_to_mux_circuit(diagram), module_name)

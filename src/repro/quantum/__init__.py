@@ -1,0 +1,66 @@
+"""Simulated QRAM-model quantum substrate.
+
+No quantum hardware is involved (see the substitution table in DESIGN.md):
+the algorithms of the paper are exercised classically, the *dynamics* of
+Grover search / Durr-Hoyer minimum finding are simulated from their exact
+closed forms, and the query complexity a quantum computer would incur is
+charged to a :class:`~repro.quantum.ledger.QueryLedger` which the
+benchmarks read.
+"""
+
+from .grover import (
+    bbht_expected_queries,
+    durr_hoyer_expected_queries,
+    optimal_iterations,
+    success_probability,
+)
+from .ledger import QueryLedger, lemma6_query_bound
+from .statevector import (
+    BBHTRun,
+    GroverRun,
+    bbht_search,
+    StatevectorMinimumRun,
+    diffusion,
+    grover_iterate,
+    grover_search,
+    grover_state,
+    measured_success_probability,
+    oracle_phase_flip,
+    statevector_minimum,
+    uniform_state,
+)
+from .minimum_finding import (
+    ClassicalMinimumFinder,
+    DHOutcome,
+    MinimumFinder,
+    MinimumOutcome,
+    QuantumMinimumFinder,
+    durr_hoyer,
+)
+
+__all__ = [
+    "QueryLedger",
+    "lemma6_query_bound",
+    "success_probability",
+    "optimal_iterations",
+    "bbht_expected_queries",
+    "durr_hoyer_expected_queries",
+    "MinimumFinder",
+    "MinimumOutcome",
+    "ClassicalMinimumFinder",
+    "QuantumMinimumFinder",
+    "DHOutcome",
+    "durr_hoyer",
+    "uniform_state",
+    "oracle_phase_flip",
+    "diffusion",
+    "grover_iterate",
+    "grover_state",
+    "measured_success_probability",
+    "grover_search",
+    "GroverRun",
+    "statevector_minimum",
+    "StatevectorMinimumRun",
+    "BBHTRun",
+    "bbht_search",
+]

@@ -1,0 +1,59 @@
+"""Grover-search dynamics: the analytic model behind the simulator.
+
+These are the standard closed forms for Grover's algorithm [Gro96] and the
+BBHT exponential search used inside Durr-Hoyer minimum finding: success
+probability after ``j`` iterations with ``t`` of ``N`` items marked, the
+optimal iteration count, and expected query costs.  The simulator in
+:mod:`repro.quantum.minimum_finding` draws its coin flips from these
+formulas, so the *measured* behaviour of the simulated algorithm matches
+the theory the paper builds on.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def success_probability(num_items: int, num_marked: int, iterations: int) -> float:
+    """P[measure a marked item] after ``iterations`` Grover iterations.
+
+    ``sin^2((2j+1) * theta)`` with ``sin^2(theta) = t/N``.  With ``t = 0``
+    the probability is 0; with ``t = N`` it is 1 regardless of ``j``.
+    """
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    if not 0 <= num_marked <= num_items:
+        raise ValueError("num_marked out of range")
+    if num_marked == 0:
+        return 0.0
+    theta = math.asin(math.sqrt(num_marked / num_items))
+    return math.sin((2 * iterations + 1) * theta) ** 2
+
+
+def optimal_iterations(num_items: int, num_marked: int) -> int:
+    """Iteration count maximizing the success probability (``~ pi/4 sqrt(N/t)``)."""
+    if num_marked <= 0:
+        raise ValueError("need at least one marked item")
+    theta = math.asin(math.sqrt(num_marked / num_items))
+    return max(0, round(math.pi / (4 * theta) - 0.5))
+
+
+def bbht_expected_queries(num_items: int, num_marked: int) -> float:
+    """Expected queries of BBHT exponential search: ``O(sqrt(N/t))``.
+
+    The classic bound is at most ``9/2 * sqrt(N/t)``; we return the
+    ``sqrt(N/t)`` shape with that constant, used by benches as the
+    theoretical reference curve.
+    """
+    if num_marked <= 0:
+        return math.inf
+    return 4.5 * math.sqrt(num_items / num_marked)
+
+
+def durr_hoyer_expected_queries(num_items: int) -> float:
+    """Expected queries of one Durr-Hoyer run: ``O(sqrt(N))``.
+
+    Durr and Hoyer bound the expectation by ``22.5 * sqrt(N)``; benches use
+    the ``sqrt(N)`` shape.
+    """
+    return 22.5 * math.sqrt(num_items)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.truth_table import TruthTable
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20260706)
+
+
+def random_tables(count: int, max_n: int = 5, seed: int = 0, min_n: int = 1):
+    """Deterministic batch of random truth tables for parametrization."""
+    rnd = random.Random(seed)
+    tables = []
+    for index in range(count):
+        n = rnd.randint(min_n, max_n)
+        tables.append(TruthTable.random(n, seed=seed * 1000 + index))
+    return tables
+
+
+def pytest_make_parametrize_id(config, val, argname):
+    if isinstance(val, TruthTable):
+        return f"tt(n={val.n},h={hash(val) & 0xffff:04x})"
+    return None

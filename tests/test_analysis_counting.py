@@ -1,0 +1,87 @@
+"""Unit tests for the exponential-size counting argument."""
+
+import math
+
+import pytest
+
+from repro.analysis.counting import (
+    exponential_necessity_threshold,
+    fraction_of_easy_functions_bound,
+    log2_functions_with_at_most,
+    max_obdd_nodes,
+    max_profile,
+)
+from repro.core import run_fs
+from repro.errors import DimensionError
+from repro.truth_table import TruthTable, count_subfunctions
+
+
+class TestMaxProfile:
+    def test_small_cases(self):
+        assert max_profile(1) == [1]
+        assert max_profile(2) == [1, 2]
+        assert max_profile(3) == [1, 2, 2]
+        assert max_profile(4) == [1, 2, 4, 2]
+
+    def test_every_measured_profile_is_dominated(self):
+        for seed in range(10):
+            table = TruthTable.random(5, seed=seed)
+            widths = count_subfunctions(table, list(range(5)))
+            caps = max_profile(5)
+            assert all(w <= c for w, c in zip(widths, caps))
+
+    def test_max_nodes_consistency(self):
+        assert max_obdd_nodes(4) == sum(max_profile(4)) + 2
+        assert max_obdd_nodes(4, include_terminals=False) == sum(max_profile(4))
+
+    def test_validation(self):
+        with pytest.raises(DimensionError):
+            max_profile(-1)
+
+
+class TestCountingBound:
+    def test_bound_is_sound_exhaustively_n2(self):
+        # All 16 two-variable functions: count how many have optimal
+        # size <= s; the log bound must dominate for every s.
+        from itertools import product
+
+        sizes = []
+        for bits in product((0, 1), repeat=4):
+            sizes.append(run_fs(TruthTable(2, list(bits))).mincost)
+        for s in range(0, 4):
+            actual = sum(1 for size in sizes if size <= s)
+            assert math.log2(max(actual, 1)) <= log2_functions_with_at_most(2, s)
+
+    def test_monotone_in_s(self):
+        values = [log2_functions_with_at_most(8, s) for s in range(1, 30)]
+        assert values == sorted(values)
+
+    def test_threshold_certifies_hard_function(self):
+        # At the threshold the easy-function count is strictly below
+        # 2^{2^n}: some function must exceed the threshold.
+        for n in (4, 8, 12):
+            s = exponential_necessity_threshold(n)
+            assert log2_functions_with_at_most(n, s) < float(1 << n)
+            assert log2_functions_with_at_most(n, s + 1) >= float(1 << n)
+
+    @pytest.mark.parametrize("n", [8, 12, 16, 24, 32])
+    def test_threshold_grows_like_2n_over_n(self, n):
+        ratio = exponential_necessity_threshold(n) * 2 * n / (1 << n)
+        assert 0.8 < ratio < 1.6
+
+    def test_threshold_validation(self):
+        with pytest.raises(DimensionError):
+            exponential_necessity_threshold(0)
+
+    def test_fraction_bound_range(self):
+        assert fraction_of_easy_functions_bound(10, 1) < 1e-200
+        assert fraction_of_easy_functions_bound(3, 100) == 1.0
+
+    def test_fraction_bound_empirical_n5(self):
+        # Only a vanishing fraction of 5-var functions can be tiny.
+        bound = fraction_of_easy_functions_bound(5, 3)
+        sample = sum(
+            run_fs(TruthTable.random(5, seed=s)).mincost <= 3
+            for s in range(40)
+        )
+        assert sample / 40 <= min(bound * 2 + 0.05, 1.0)

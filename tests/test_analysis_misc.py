@@ -1,0 +1,137 @@
+"""Tests for entropy bounds, complexity models, and operation counters."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    OperationCounters,
+    binary_entropy,
+    binomial_entropy_bound,
+    brute_force_cells,
+    entropy_bound_check,
+    fit_growth_rate,
+    fs_star_table_cells,
+    fs_table_cells,
+    log2_binomial,
+    preprocess_cells,
+    theorem5_bound,
+    theorem10_time_model,
+    trivial_bound,
+)
+
+
+class TestEntropy:
+    def test_endpoints(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == 1.0
+        assert binary_entropy(0.3) < 1.0
+
+    def test_symmetry(self):
+        assert binary_entropy(0.2) == pytest.approx(binary_entropy(0.8))
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            binary_entropy(1.5)
+
+    @pytest.mark.parametrize("n,k", [(10, 3), (20, 10), (30, 1), (16, 16)])
+    def test_binomial_bound_holds(self, n, k):
+        count, bound = entropy_bound_check(n, k)
+        assert count <= bound * (1 + 1e-12)
+
+    def test_binomial_entropy_bound_matches_check(self):
+        assert binomial_entropy_bound(10, 3) == entropy_bound_check(10, 3)[1]
+
+    def test_log2_binomial_exact(self):
+        for n in range(0, 25, 4):
+            for k in range(0, n + 1, 3):
+                assert log2_binomial(n, k) == pytest.approx(
+                    math.log2(math.comb(n, k)), abs=1e-9
+                )
+
+    def test_log2_binomial_validation(self):
+        with pytest.raises(ValueError):
+            log2_binomial(3, 4)
+
+
+class TestComplexityModels:
+    def test_fs_cells_identity(self):
+        for n in range(1, 14):
+            assert fs_table_cells(n) == n * 3 ** (n - 1)
+
+    def test_fs_cells_within_theorem5_shape(self):
+        # measured/3^n ratio is polynomially bounded (here: <= n).
+        for n in range(2, 14):
+            assert fs_table_cells(n) <= n * theorem5_bound(n)
+
+    def test_fs_star_cells_reduces_to_fs(self):
+        for n in range(1, 10):
+            assert fs_star_table_cells(n, 0, n) == fs_table_cells(n)
+
+    def test_fs_star_validation(self):
+        with pytest.raises(ValueError):
+            fs_star_table_cells(5, 3, 3)
+
+    def test_brute_force_cells(self):
+        assert brute_force_cells(3) == 6 * 7
+
+    def test_trivial_vs_theorem5_crossover(self):
+        # n! 2^n overtakes 3^n somewhere small and stays above.
+        assert trivial_bound(2) < theorem5_bound(2) * 2
+        for n in range(4, 16):
+            assert trivial_bound(n) > theorem5_bound(n)
+
+    def test_preprocess_cells_monotone(self):
+        cells = [preprocess_cells(12, l1) for l1 in range(1, 6)]
+        assert cells == sorted(cells)
+
+    def test_theorem10_model_structure(self):
+        model = theorem10_time_model(20, (0.18, 0.34))
+        assert set(model) >= {"preprocess", "L_2", "L_3", "total"}
+        assert model["total"] >= model["preprocess"]
+        assert model["total"] < trivial_bound(20)
+
+
+class TestGrowthFit:
+    def test_recovers_exact_exponential(self):
+        ns = [4, 6, 8, 10, 12]
+        counts = [3.0 ** n for n in ns]
+        base, coefficient = fit_growth_rate(ns, counts)
+        assert base == pytest.approx(3.0, rel=1e-9)
+        assert coefficient == pytest.approx(1.0, rel=1e-6)
+
+    def test_tolerates_polynomial_factor(self):
+        # The polynomial factor inflates the fitted base slightly (by
+        # d(log2 n)/dn over the window); it must stay well below the next
+        # interesting base (n! 2^n grows super-exponentially).
+        ns = list(range(6, 16))
+        counts = [n * 3.0 ** n for n in ns]
+        base, _ = fit_growth_rate(ns, counts)
+        assert 3.0 < base < 3.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_growth_rate([1], [3.0])
+        with pytest.raises(ValueError):
+            fit_growth_rate([1, 2], [1.0, 0.0])
+
+
+class TestCounters:
+    def test_merge(self):
+        a = OperationCounters(table_cells=5, nodes_created=2)
+        a.add_extra("rounds", 3)
+        b = OperationCounters(table_cells=7, oracle_queries=4)
+        b.add_extra("rounds", 1)
+        a.merge(b)
+        assert a.table_cells == 12
+        assert a.oracle_queries == 4
+        assert a.extra["rounds"] == 4
+
+    def test_snapshot_includes_extras(self):
+        c = OperationCounters(compactions=2)
+        c.add_extra("custom", 9)
+        snap = c.snapshot()
+        assert snap["compactions"] == 2 and snap["custom"] == 9

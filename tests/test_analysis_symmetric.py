@@ -1,0 +1,118 @@
+"""Unit tests for the symmetric-function closed-form profiles."""
+
+import itertools
+
+import pytest
+
+from repro.analysis import (
+    is_totally_symmetric,
+    parity_size,
+    symmetric_from_value_vector,
+    symmetric_obdd_size,
+    symmetric_profile,
+    threshold_size,
+    value_vector,
+)
+from repro.core import run_fs
+from repro.errors import DimensionError
+from repro.functions import majority, parity, threshold
+from repro.truth_table import TruthTable, count_subfunctions, obdd_size
+
+
+class TestDetection:
+    def test_symmetric_families_detected(self):
+        assert is_totally_symmetric(parity(5))
+        assert is_totally_symmetric(threshold(5, 2))
+        assert is_totally_symmetric(majority(5))
+        assert is_totally_symmetric(TruthTable.constant(4, 1))
+
+    def test_asymmetric_rejected(self):
+        assert not is_totally_symmetric(TruthTable.projection(3, 0))
+
+    def test_value_vector(self):
+        assert value_vector(parity(4)) == [0, 1, 0, 1, 0]
+        assert value_vector(threshold(4, 2)) == [0, 0, 1, 1, 1]
+
+    def test_value_vector_requires_symmetry(self):
+        with pytest.raises(DimensionError):
+            value_vector(TruthTable.projection(2, 1))
+
+    def test_roundtrip(self):
+        for vec in ([0, 1, 1, 0], [1, 0, 1, 0], [0, 0, 0, 0]):
+            table = symmetric_from_value_vector(3, vec)
+            assert is_totally_symmetric(table)
+            assert value_vector(table) == vec
+
+    def test_vector_length_checked(self):
+        with pytest.raises(DimensionError):
+            symmetric_from_value_vector(3, [0, 1])
+
+
+class TestProfile:
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_parity_profile(self, n):
+        vec = value_vector(parity(n))
+        assert symmetric_profile(n, vec) == count_subfunctions(
+            parity(n), list(range(n))
+        )
+
+    @pytest.mark.parametrize("n,k", [(n, k) for n in range(1, 7)
+                                     for k in range(n + 2)])
+    def test_threshold_profile(self, n, k):
+        table = threshold(n, k)
+        vec = value_vector(table)
+        assert symmetric_profile(n, vec) == count_subfunctions(
+            table, list(range(n))
+        )
+
+    def test_random_symmetric_profiles(self):
+        import random
+
+        rnd = random.Random(0)
+        for _ in range(15):
+            n = rnd.randint(1, 7)
+            vec = [rnd.randint(0, 1) for _ in range(n + 1)]
+            table = symmetric_from_value_vector(n, vec)
+            assert symmetric_profile(n, vec) == count_subfunctions(
+                table, list(range(n))
+            )
+
+    def test_profile_is_ordering_invariant_fact(self):
+        # The closed form has no ordering argument; confirm all orderings
+        # of the table agree with it.
+        vec = [0, 1, 1, 0, 1]
+        table = symmetric_from_value_vector(4, vec)
+        expected = sum(symmetric_profile(4, vec))
+        for perm in itertools.permutations(range(4)):
+            assert obdd_size(table, list(perm), include_terminals=False) == expected
+
+
+class TestSizes:
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_parity_closed_form(self, n):
+        assert parity_size(n) == 2 * n - 1
+        assert parity_size(n) == run_fs(parity(n)).mincost if n <= 7 else True
+
+    def test_parity_validation(self):
+        with pytest.raises(DimensionError):
+            parity_size(0)
+
+    @pytest.mark.parametrize("n,k", [(5, 2), (5, 3), (6, 1), (6, 6), (4, 0)])
+    def test_threshold_size_matches_fs(self, n, k):
+        assert threshold_size(n, k) == run_fs(threshold(n, k)).mincost
+
+    def test_obdd_size_terminal_handling(self):
+        vec = [1, 1, 1, 1]
+        assert symmetric_obdd_size(3, vec) == 1  # constant: one terminal
+        vec = [0, 1, 0, 1]
+        assert symmetric_obdd_size(3, vec) == sum(symmetric_profile(3, vec)) + 2
+
+    def test_symmetric_size_is_quadratic_not_exponential(self):
+        # Width <= k+1 at level k: total <= n(n+1)/2 for any symmetric f.
+        import random
+
+        rnd = random.Random(1)
+        for n in (6, 9, 12):
+            vec = [rnd.randint(0, 1) for _ in range(n + 1)]
+            size = symmetric_obdd_size(n, vec, include_terminals=False)
+            assert size <= n * (n + 1) // 2

@@ -1,0 +1,112 @@
+"""Unit tests for variable-symmetry detection and pruned search."""
+
+import math
+
+import pytest
+
+from repro.analysis.symmetry import (
+    are_interchangeable,
+    brute_force_up_to_symmetry,
+    canonical_orderings,
+    search_space_reduction,
+    symmetry_classes,
+)
+from repro.core import run_fs
+from repro.errors import DimensionError
+from repro.functions import (
+    achilles_heel,
+    majority,
+    multiplexer,
+    parity,
+    threshold,
+)
+from repro.truth_table import TruthTable
+
+
+class TestInterchangeability:
+    def test_and_is_symmetric(self):
+        table = TruthTable.from_callable(2, lambda a, b: a & b)
+        assert are_interchangeable(table, 0, 1)
+
+    def test_implication_is_not(self):
+        table = TruthTable.from_callable(2, lambda a, b: (1 - a) | b)
+        assert not are_interchangeable(table, 0, 1)
+
+    def test_reflexive(self):
+        table = TruthTable.random(3, seed=1)
+        assert are_interchangeable(table, 2, 2)
+
+    def test_range_checked(self):
+        with pytest.raises(DimensionError):
+            are_interchangeable(TruthTable.random(2, seed=0), 0, 2)
+
+    def test_matches_permutation_definition(self):
+        table = TruthTable.random(4, seed=2)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                perm = list(range(4))
+                perm[i], perm[j] = perm[j], perm[i]
+                assert are_interchangeable(table, i, j) == (
+                    table.permute(perm) == table
+                )
+
+
+class TestClasses:
+    def test_totally_symmetric_single_class(self):
+        assert symmetry_classes(parity(5)) == [[0, 1, 2, 3, 4]]
+        assert symmetry_classes(majority(5)) == [[0, 1, 2, 3, 4]]
+
+    def test_achilles_pairs(self):
+        assert symmetry_classes(achilles_heel(3)) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_asymmetric_singletons(self):
+        assert symmetry_classes(multiplexer(2)) == [[v] for v in range(6)]
+
+    def test_constant_function_fully_symmetric(self):
+        assert symmetry_classes(TruthTable.constant(4, 1)) == [[0, 1, 2, 3]]
+
+    def test_classes_partition(self):
+        table = TruthTable.random(5, seed=3)
+        classes = symmetry_classes(table)
+        members = sorted(v for cls in classes for v in cls)
+        assert members == list(range(5))
+
+
+class TestReduction:
+    def test_counts(self):
+        full, reduced = search_space_reduction(achilles_heel(3))
+        assert full == math.factorial(6)
+        assert reduced == math.factorial(6) // 8
+
+    def test_symmetric_function_collapses_to_one(self):
+        full, reduced = search_space_reduction(threshold(5, 2))
+        assert (full, reduced) == (120, 1)
+
+    def test_canonical_orderings_count(self):
+        table = achilles_heel(2)
+        assert sum(1 for _ in canonical_orderings(table)) == 6  # 4!/4
+
+    def test_canonical_representatives_keep_class_order(self):
+        table = achilles_heel(2)
+        for order in canonical_orderings(table):
+            assert order.index(0) < order.index(1)
+            assert order.index(2) < order.index(3)
+
+
+class TestPrunedSearch:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_optimum_as_fs(self, seed):
+        table = TruthTable.random(4, seed=seed + 10)
+        _, cost, _ = brute_force_up_to_symmetry(table)
+        assert cost == run_fs(table).mincost
+
+    def test_evaluation_savings(self):
+        table = achilles_heel(3)
+        order, cost, evaluated = brute_force_up_to_symmetry(table)
+        assert evaluated == 90
+        assert cost == run_fs(table).mincost
+
+    def test_no_symmetry_no_savings(self):
+        table = multiplexer(2)
+        _, _, evaluated = brute_force_up_to_symmetry(table)
+        assert evaluated == math.factorial(6)

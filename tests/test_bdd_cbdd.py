@@ -1,0 +1,138 @@
+"""Unit tests for the complement-edge BDD manager."""
+
+import random
+
+import pytest
+
+from repro.bdd.cbdd import (
+    CBDD,
+    FALSE_EDGE,
+    TRUE_EDGE,
+    cbdd_size,
+    edge_complemented,
+    edge_node,
+    negate,
+)
+from repro.errors import DimensionError, OrderingError
+from repro.functions import parity
+from repro.truth_table import TruthTable, obdd_size
+
+
+class TestEdgeEncoding:
+    def test_terminals(self):
+        assert edge_node(TRUE_EDGE) == 0 and not edge_complemented(TRUE_EDGE)
+        assert edge_node(FALSE_EDGE) == 0 and edge_complemented(FALSE_EDGE)
+        assert negate(TRUE_EDGE) == FALSE_EDGE
+
+    def test_negate_involution(self):
+        assert negate(negate(42)) == 42
+
+
+class TestCanonicity:
+    def test_then_edge_always_regular(self):
+        m = CBDD(4)
+        rnd = random.Random(0)
+        root = m.from_truth_table(TruthTable.random(4, seed=1))
+        for node, (_, lo, hi) in m._nodes.items():
+            assert not edge_complemented(hi)
+
+    def test_complement_shares_all_nodes(self):
+        m = CBDD(5)
+        tt = TruthTable.random(5, seed=2)
+        f = m.from_truth_table(tt)
+        g = m.from_truth_table(~tt)
+        assert g == negate(f)
+        assert m.reachable_nodes(f) == m.reachable_nodes(g)
+
+    def test_de_morgan_is_identity(self):
+        m = CBDD(3)
+        a, b = m.var(0), m.var(1)
+        assert m.apply_not(m.apply_and(a, b)) == m.apply_or(
+            m.apply_not(a), m.apply_not(b)
+        )
+
+    def test_xor_self_dual_sharing(self):
+        m = CBDD(3)
+        x = m.apply_xor(m.var(0), m.var(1))
+        y = m.apply_xor(m.nvar(0), m.var(1))
+        assert edge_node(x) == edge_node(y)
+        assert y == negate(x)
+
+    def test_bad_order(self):
+        with pytest.raises(OrderingError):
+            CBDD(2, order=[1, 1])
+
+    def test_var_range(self):
+        with pytest.raises(DimensionError):
+            CBDD(2).var(5)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_roundtrip(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(0, 5)
+        order = list(range(n))
+        rnd.shuffle(order)
+        tt = TruthTable.random(n, seed=seed + 10)
+        m = CBDD(n, order)
+        root = m.from_truth_table(tt)
+        assert m.to_truth_table(root) == tt
+        assert m.to_truth_table(negate(root)) == ~tt
+
+    def test_ite_general(self):
+        import itertools
+
+        m = CBDD(3)
+        f = m.ite(m.var(0), m.var(1), m.nvar(2))
+        for bits in itertools.product((0, 1), repeat=3):
+            expected = bits[1] if bits[0] else 1 - bits[2]
+            assert m.evaluate(f, list(bits)) == expected
+
+    def test_evaluate_arity(self):
+        m = CBDD(2)
+        with pytest.raises(DimensionError):
+            m.evaluate(TRUE_EDGE, [0])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_satcount(self, seed):
+        tt = TruthTable.random(5, seed=seed + 20)
+        m = CBDD(5)
+        root = m.from_truth_table(tt)
+        assert m.satcount(root) == tt.count_ones()
+        assert m.satcount(negate(root)) == 32 - tt.count_ones()
+
+    def test_satcount_terminals(self):
+        m = CBDD(4)
+        assert m.satcount(TRUE_EDGE) == 16
+        assert m.satcount(FALSE_EDGE) == 0
+
+
+class TestSizes:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_larger_than_plain(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(1, 6)
+        order = list(range(n))
+        rnd.shuffle(order)
+        tt = TruthTable.random(n, seed=seed + 30)
+        assert cbdd_size(tt, order, include_terminals=False) <= obdd_size(
+            tt, order, include_terminals=False
+        )
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_parity_halves(self, n):
+        # Parity: n internal nodes with complement edges vs 2n - 1 plain.
+        assert cbdd_size(parity(n), list(range(n)),
+                         include_terminals=False) == n
+
+    def test_single_terminal(self):
+        tt = TruthTable.random(3, seed=40)
+        m = CBDD(3)
+        root = m.from_truth_table(tt)
+        assert m.size(root) == m.size(root, include_terminals=False) + 1
+
+    def test_constant_sizes(self):
+        m = CBDD(3)
+        assert m.size(TRUE_EDGE) == 1
+        assert m.size(FALSE_EDGE) == 1

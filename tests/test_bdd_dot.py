@@ -1,0 +1,67 @@
+"""Unit tests for DOT export."""
+
+from repro.bdd import BDD, MTBDD, ZDD, diagram_to_dot, to_dot
+from repro.core import ReductionRule, build_diagram
+from repro.functions import achilles_heel
+from repro.truth_table import TruthTable
+
+
+class TestManagerDot:
+    def test_bdd_dot_structure(self):
+        mgr = BDD(2)
+        root = mgr.from_truth_table(TruthTable(2, [0, 0, 0, 1]))
+        dot = to_dot(mgr, root, name="AndGate")
+        assert dot.startswith("digraph AndGate {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="T"' in dot and 'label="F"' in dot
+        assert "style=dotted" in dot and "style=solid" in dot
+        assert 'label="x1"' in dot  # one-based labels by default
+
+    def test_zero_based_labels(self):
+        mgr = BDD(1)
+        dot = to_dot(mgr, mgr.var(0), one_based=False)
+        assert 'label="x0"' in dot
+
+    def test_every_internal_node_has_two_edges(self):
+        mgr = BDD(3)
+        root = mgr.from_truth_table(TruthTable.random(3, seed=5))
+        dot = to_dot(mgr, root)
+        internal = sum(1 for line in dot.splitlines() if "shape=circle" in line)
+        edges = sum(1 for line in dot.splitlines() if "->" in line)
+        assert edges == 2 * internal
+
+    def test_zdd_dot(self):
+        z = ZDD(3)
+        root = z.from_sets([{0, 2}, {1}])
+        dot = to_dot(z, root)
+        assert "digraph" in dot and "shape=circle" in dot
+
+    def test_mtbdd_terminal_labels(self):
+        m = MTBDD(2)
+        root = m.from_truth_table(TruthTable(2, [0, 1, 2, 3]))
+        dot = to_dot(m, root)
+        for value in ("0", "1", "2", "3"):
+            assert f'label="{value}"' in dot
+
+    def test_rank_same_groups_levels(self):
+        mgr = BDD(3)
+        root = mgr.from_truth_table(TruthTable.random(3, seed=9))
+        dot = to_dot(mgr, root)
+        assert "rank=same" in dot
+
+
+class TestDiagramDot:
+    def test_reconstructed_diagram_export(self):
+        table = achilles_heel(2)
+        diagram = build_diagram(table, [0, 1, 2, 3])
+        dot = diagram.to_dot(name="Achilles")
+        assert dot.startswith("digraph Achilles {")
+        assert dot.count("shape=circle") == diagram.mincost
+
+    def test_raw_export_matches_reachable(self):
+        table = TruthTable.random(4, seed=11)
+        diagram = build_diagram(table, [0, 1, 2, 3], ReductionRule.BDD)
+        dot = diagram_to_dot(diagram.nodes, diagram.root)
+        boxes = dot.count("shape=box")
+        circles = dot.count("shape=circle")
+        assert boxes + circles == diagram.size

@@ -1,0 +1,244 @@
+"""Unit tests for the ITE-based OBDD manager."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BDD, FALSE, TRUE
+from repro.errors import DimensionError, OrderingError
+from repro.truth_table import TruthTable, obdd_size
+
+
+@pytest.fixture
+def mgr():
+    return BDD(4)
+
+
+class TestConstruction:
+    def test_bad_order_rejected(self):
+        with pytest.raises(OrderingError):
+            BDD(3, order=[0, 0, 1])
+
+    def test_negative_vars_rejected(self):
+        with pytest.raises(DimensionError):
+            BDD(-1)
+
+    def test_terminals(self, mgr):
+        assert mgr.false == FALSE and mgr.true == TRUE
+        assert mgr.is_terminal(FALSE) and mgr.is_terminal(TRUE)
+        assert mgr.level(TRUE) == 4
+
+    def test_var_node(self, mgr):
+        u = mgr.var(2)
+        node = mgr.node(u)
+        assert (node.var, node.lo, node.hi) == (2, FALSE, TRUE)
+
+    def test_nvar(self, mgr):
+        u = mgr.nvar(1)
+        assert mgr.evaluate(u, [0, 0, 0, 0]) == 1
+        assert mgr.evaluate(u, [0, 1, 0, 0]) == 0
+
+    def test_custom_order_levels(self):
+        mgr = BDD(3, order=[2, 0, 1])
+        assert mgr.level_of_var(2) == 0
+        assert mgr.level(mgr.var(2)) == 0
+        assert mgr.level(mgr.var(1)) == 2
+
+
+class TestReduction:
+    def test_redundant_test_eliminated(self, mgr):
+        # ite(x0, x1, x1) must collapse to x1 (rule 5(a)).
+        assert mgr.ite(mgr.var(0), mgr.var(1), mgr.var(1)) == mgr.var(1)
+
+    def test_unique_table_shares(self, mgr):
+        a = mgr.apply_and(mgr.var(0), mgr.var(1))
+        b = mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert a == b
+
+    def test_canonicity_across_equivalent_formulas(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        left = mgr.apply_not(mgr.apply_and(x, y))
+        right = mgr.apply_or(mgr.apply_not(x), mgr.apply_not(y))
+        assert left == right  # De Morgan, same node id by canonicity
+
+
+class TestOperators:
+    CASES = [
+        ("and", lambda a, b: a & b),
+        ("or", lambda a, b: a | b),
+        ("xor", lambda a, b: a ^ b),
+        ("nand", lambda a, b: 1 - (a & b)),
+        ("nor", lambda a, b: 1 - (a | b)),
+        ("xnor", lambda a, b: 1 - (a ^ b)),
+        ("implies", lambda a, b: (1 - a) | b),
+    ]
+
+    @pytest.mark.parametrize("name,fn", CASES, ids=[c[0] for c in CASES])
+    def test_binary_semantics(self, mgr, name, fn):
+        f = mgr.var(0)
+        g = mgr.var(1)
+        r = mgr.apply(name, f, g)
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert mgr.evaluate(r, [a, b, 0, 0]) == fn(a, b)
+
+    def test_unknown_operator(self, mgr):
+        with pytest.raises(ValueError):
+            mgr.apply("nope", TRUE, FALSE)
+
+    def test_ite_general(self, mgr):
+        f = mgr.apply_xor(mgr.var(0), mgr.var(1))
+        g = mgr.var(2)
+        h = mgr.var(3)
+        r = mgr.ite(f, g, h)
+        for bits in itertools.product((0, 1), repeat=4):
+            expected = bits[2] if bits[0] ^ bits[1] else bits[3]
+            assert mgr.evaluate(r, list(bits)) == expected
+
+
+class TestStructuralOps:
+    def test_restrict(self, mgr):
+        f = mgr.apply_or(mgr.apply_and(mgr.var(0), mgr.var(1)), mgr.var(2))
+        assert mgr.restrict(f, 0, 1) == mgr.apply_or(mgr.var(1), mgr.var(2))
+        assert mgr.restrict(f, 0, 0) == mgr.var(2)
+
+    def test_compose(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        g = mgr.apply_or(mgr.var(2), mgr.var(3))
+        composed = mgr.compose(f, 1, g)
+        expected = mgr.apply_and(mgr.var(0), g)
+        assert composed == expected
+
+    def test_exists_forall(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert mgr.exists(f, [0]) == mgr.var(1)
+        assert mgr.forall(f, [0]) == FALSE
+        tautology = mgr.apply_or(mgr.var(0), mgr.apply_not(mgr.var(0)))
+        assert mgr.forall(tautology, [0]) == TRUE
+
+    def test_support(self, mgr):
+        f = mgr.apply_xor(mgr.var(1), mgr.var(3))
+        assert mgr.support(f) == [1, 3]
+        assert mgr.support(TRUE) == []
+
+    def test_size_of_terminal(self, mgr):
+        assert mgr.size(TRUE) == 1
+        assert mgr.size(TRUE, include_terminals=False) == 0
+
+    def test_level_widths(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert mgr.level_widths(f) == [1, 1, 0, 0]
+
+
+class TestCounting:
+    def test_satcount_simple(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert mgr.satcount(f) == 4  # 2 free variables
+
+    def test_satcount_terminals(self, mgr):
+        assert mgr.satcount(TRUE) == 16
+        assert mgr.satcount(FALSE) == 0
+
+    def test_satcount_with_level_skips(self, mgr):
+        f = mgr.apply_xor(mgr.var(0), mgr.var(3))
+        assert mgr.satcount(f) == 8
+
+    def test_sat_iter_matches_satcount(self, mgr):
+        f = mgr.apply_or(mgr.apply_and(mgr.var(0), mgr.var(2)), mgr.var(3))
+        sats = list(mgr.sat_iter(f))
+        assert len(sats) == mgr.satcount(f)
+        assert len(set(sats)) == len(sats)
+        for assignment in sats:
+            assert mgr.evaluate(f, list(assignment)) == 1
+
+    def test_sat_iter_false_empty(self, mgr):
+        assert list(mgr.sat_iter(FALSE)) == []
+
+    def test_sat_iter_true_complete(self):
+        mgr = BDD(2)
+        assert sorted(mgr.sat_iter(TRUE)) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+class TestTruthTableBridge:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_roundtrip_random(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(1, 5)
+        order = list(range(n))
+        rnd.shuffle(order)
+        tt = TruthTable.random(n, seed=seed)
+        mgr = BDD(n, order)
+        root = mgr.from_truth_table(tt)
+        assert mgr.to_truth_table(root) == tt
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_size_matches_subfunction_oracle(self, seed):
+        rnd = random.Random(100 + seed)
+        n = rnd.randint(1, 5)
+        order = list(range(n))
+        rnd.shuffle(order)
+        tt = TruthTable.random(n, seed=200 + seed)
+        mgr = BDD(n, order)
+        root = mgr.from_truth_table(tt)
+        assert mgr.size(root) == obdd_size(tt, order)
+
+    def test_from_truth_table_arity_check(self):
+        with pytest.raises(DimensionError):
+            BDD(3).from_truth_table(TruthTable.constant(2, 0))
+
+    def test_zero_variable_table(self):
+        mgr = BDD(0)
+        assert mgr.from_truth_table(TruthTable(0, [1])) == TRUE
+        assert mgr.from_truth_table(TruthTable(0, [0])) == FALSE
+
+    def test_evaluate_arity_check(self, mgr):
+        with pytest.raises(DimensionError):
+            mgr.evaluate(TRUE, [0, 1])
+
+    def test_clear_caches_preserves_results(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        mgr.clear_caches()
+        assert mgr.apply_and(mgr.var(0), mgr.var(1)) == f
+
+
+class TestConstrain:
+    """Coudert-Madre generalized cofactor."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agrees_on_care_set(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(1, 5)
+        f_tt = TruthTable.random(n, seed=seed)
+        c_tt = TruthTable.random(n, seed=seed + 100)
+        if c_tt.count_ones() == 0:
+            c_tt = ~c_tt
+        mgr = BDD(n)
+        f = mgr.from_truth_table(f_tt)
+        c = mgr.from_truth_table(c_tt)
+        g_tt = mgr.to_truth_table(mgr.constrain(f, c))
+        for a in range(1 << n):
+            if c_tt.evaluate_packed(a):
+                assert g_tt.evaluate_packed(a) == f_tt.evaluate_packed(a)
+
+    def test_identities(self):
+        mgr = BDD(3)
+        f = mgr.apply_xor(mgr.var(0), mgr.var(2))
+        c = mgr.var(1)
+        assert mgr.constrain(f, mgr.true) == f
+        assert mgr.constrain(mgr.true, c) == mgr.true
+        assert mgr.constrain(mgr.false, c) == mgr.false
+        # f AND c is invariant under constraining f by c
+        assert mgr.apply_and(mgr.constrain(f, c), c) == mgr.apply_and(f, c)
+
+    def test_empty_care_set_rejected(self):
+        mgr = BDD(2)
+        with pytest.raises(ValueError):
+            mgr.constrain(mgr.var(0), mgr.false)
+
+    def test_can_shrink_the_diagram(self):
+        # f restricted to the cube x0=1 collapses to the cofactor.
+        mgr = BDD(3)
+        f = mgr.apply_or(mgr.apply_and(mgr.var(0), mgr.var(1)), mgr.var(2))
+        g = mgr.constrain(f, mgr.var(0))
+        assert g == mgr.apply_or(mgr.var(1), mgr.var(2))
+        assert mgr.size(g) <= mgr.size(f)

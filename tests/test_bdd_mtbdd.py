@@ -1,0 +1,125 @@
+"""Unit tests for the MTBDD manager."""
+
+import random
+
+import pytest
+
+from repro.bdd import MTBDD, mtbdd_size
+from repro.errors import DimensionError, OrderingError
+from repro.truth_table import TruthTable
+
+
+@pytest.fixture
+def m():
+    return MTBDD(3)
+
+
+class TestTerminals:
+    def test_terminal_allocation(self, m):
+        t5 = m.terminal(5)
+        assert m.is_terminal(t5)
+        assert m.terminal_value(t5) == 5
+
+    def test_terminal_deduplication(self, m):
+        assert m.terminal(7) == m.terminal(7)
+
+    def test_distinct_values_distinct_terminals(self, m):
+        assert m.terminal(1) != m.terminal(2)
+
+    def test_terminal_level(self, m):
+        assert m.level(m.terminal(0)) == 3
+
+
+class TestReduction:
+    def test_equal_children_merge(self, m):
+        t = m.terminal(4)
+        assert m.make(0, t, t) == t
+
+    def test_unique_table(self, m):
+        a, b = m.terminal(0), m.terminal(1)
+        assert m.make(1, a, b) == m.make(1, a, b)
+
+    def test_bad_order(self):
+        with pytest.raises(OrderingError):
+            MTBDD(2, order=[0, 2])
+
+
+class TestBuildEvaluate:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_roundtrip_multivalued(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(1, 5)
+        order = list(range(n))
+        rnd.shuffle(order)
+        tt = TruthTable.random(n, seed=seed + 400, num_values=4)
+        m = MTBDD(n, order)
+        root = m.from_truth_table(tt)
+        assert m.to_truth_table(root) == tt
+
+    def test_constant_table(self):
+        m = MTBDD(2)
+        root = m.from_truth_table(TruthTable.constant(2, 9))
+        assert m.is_terminal(root) and m.terminal_value(root) == 9
+
+    def test_arity_check(self):
+        with pytest.raises(DimensionError):
+            MTBDD(2).from_truth_table(TruthTable.constant(3, 0))
+
+    def test_evaluate_arity(self, m):
+        with pytest.raises(DimensionError):
+            m.evaluate(m.terminal(0), [0])
+
+    def test_boolean_special_case_matches_bdd_widths(self):
+        # On a 0/1 table an MTBDD is structurally an OBDD.
+        from repro.truth_table import count_subfunctions
+
+        tt = TruthTable.random(4, seed=77)
+        order = [2, 0, 3, 1]
+        m = MTBDD(4, order)
+        root = m.from_truth_table(tt)
+        assert m.level_widths(root) == count_subfunctions(tt, order)
+
+
+class TestArithmetic:
+    def test_add(self):
+        m = MTBDD(2)
+        f = m.from_truth_table(TruthTable(2, [0, 1, 2, 3]))
+        g = m.from_truth_table(TruthTable(2, [3, 2, 1, 0]))
+        assert m.to_truth_table(m.add(f, g)) == TruthTable(2, [3, 3, 3, 3])
+
+    def test_max_min(self):
+        m = MTBDD(2)
+        f = m.from_truth_table(TruthTable(2, [0, 5, 2, 1]))
+        g = m.from_truth_table(TruthTable(2, [3, 1, 2, 4]))
+        assert m.to_truth_table(m.max(f, g)) == TruthTable(2, [3, 5, 2, 4])
+        assert m.to_truth_table(m.min(f, g)) == TruthTable(2, [0, 1, 2, 1])
+
+    def test_apply_custom(self):
+        m = MTBDD(2)
+        f = m.from_truth_table(TruthTable(2, [0, 1, 2, 3]))
+        doubled = m.apply(lambda a, b: a * b, f, m.terminal(2))
+        assert m.to_truth_table(doubled) == TruthTable(2, [0, 2, 4, 6])
+
+    def test_apply_result_reduced(self):
+        m = MTBDD(1)
+        f = m.from_truth_table(TruthTable(1, [2, 3]))
+        g = m.from_truth_table(TruthTable(1, [3, 2]))
+        total = m.add(f, g)  # constant 5 -> must collapse to a terminal
+        assert m.is_terminal(total) and m.terminal_value(total) == 5
+
+
+class TestSizeHelper:
+    def test_mtbdd_size_counts_value_terminals(self):
+        tt = TruthTable(2, [0, 1, 2, 0])
+        assert mtbdd_size(tt, [0, 1]) == mtbdd_size(tt, [1, 0])
+        # 3 distinct reachable terminals plus internal nodes
+        internal = mtbdd_size(tt, [0, 1], include_terminals=False)
+        assert mtbdd_size(tt, [0, 1]) == internal + 3
+
+    def test_ordering_sensitivity(self):
+        # g(x) = value of (x0, x1 pair) chosen by x2: orderings differ.
+        values = [0, 1, 2, 3, 0, 0, 1, 1]
+        tt = TruthTable(3, values)
+        sizes = {mtbdd_size(tt, list(p)) for p in
+                 __import__("itertools").permutations(range(3))}
+        assert len(sizes) > 1

@@ -1,0 +1,272 @@
+"""Unit tests for the ZDD manager."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import ZDD
+from repro.bdd.node import FALSE, TRUE
+from repro.errors import DimensionError, OrderingError
+from repro.truth_table import TruthTable
+
+
+@pytest.fixture
+def z():
+    return ZDD(4)
+
+
+def family(z, sets):
+    return z.from_sets([set(s) for s in sets])
+
+
+class TestBasics:
+    def test_terminals(self, z):
+        assert z.empty == FALSE and z.base == TRUE
+        assert z.count(z.empty) == 0
+        assert z.count(z.base) == 1
+        assert list(z.iter_sets(z.base)) == [frozenset()]
+
+    def test_singleton(self, z):
+        s = z.singleton(2)
+        assert set(z.iter_sets(s)) == {frozenset({2})}
+
+    def test_bad_order(self):
+        with pytest.raises(OrderingError):
+            ZDD(2, order=[1, 1])
+
+    def test_zero_suppression_rule(self, z):
+        # A node whose hi edge is empty must not exist.
+        u = z.make(0, z.base, z.empty)
+        assert u == z.base
+
+    def test_unique_table(self, z):
+        a = z.make(1, z.base, z.base)
+        b = z.make(1, z.base, z.base)
+        assert a == b
+
+
+class TestFamilyAlgebra:
+    def test_union_semantics(self, z):
+        f = family(z, [{0}, {1, 2}])
+        g = family(z, [{1, 2}, {3}])
+        assert set(z.iter_sets(z.union(f, g))) == {
+            frozenset({0}), frozenset({1, 2}), frozenset({3})
+        }
+
+    def test_intersection_semantics(self, z):
+        f = family(z, [{0}, {1, 2}, set()])
+        g = family(z, [{1, 2}, set(), {3}])
+        assert set(z.iter_sets(z.intersection(f, g))) == {
+            frozenset({1, 2}), frozenset()
+        }
+
+    def test_difference_semantics(self, z):
+        f = family(z, [{0}, {1}, set()])
+        g = family(z, [{1}, set()])
+        assert set(z.iter_sets(z.difference(f, g))) == {frozenset({0})}
+
+    def test_difference_with_base(self, z):
+        f = family(z, [{0}, set()])
+        assert set(z.iter_sets(z.difference(f, z.base))) == {frozenset({0})}
+
+    def test_union_idempotent(self, z):
+        f = family(z, [{0, 3}, {1}])
+        assert z.union(f, f) == f
+
+    def test_intersection_with_empty(self, z):
+        f = family(z, [{0}])
+        assert z.intersection(f, z.empty) == z.empty
+
+    def test_join(self, z):
+        f = family(z, [{0}, {1}])
+        g = family(z, [{2}, set()])
+        assert set(z.iter_sets(z.join(f, g))) == {
+            frozenset({0, 2}), frozenset({0}), frozenset({1, 2}), frozenset({1})
+        }
+
+    def test_join_absorbs_duplicates(self, z):
+        f = family(z, [{0}, set()])
+        assert z.join(f, f) == family(z, [{0}, set()])
+
+    def test_subset1(self, z):
+        f = family(z, [{0, 1}, {1, 2}, {3}])
+        assert set(z.iter_sets(z.subset1(f, 1))) == {frozenset({0}), frozenset({2})}
+
+    def test_subset0(self, z):
+        f = family(z, [{0, 1}, {1, 2}, {3}])
+        assert set(z.iter_sets(z.subset0(f, 1))) == {frozenset({3})}
+
+    def test_subset_decomposition(self, z):
+        # f == subset0(f, v) UNION join(subset1(f, v), {{v}})
+        f = family(z, [{0, 1}, {2}, set(), {1, 3}])
+        for v in range(4):
+            rebuilt = z.union(
+                z.subset0(f, v), z.join(z.subset1(f, v), z.singleton(v))
+            )
+            assert rebuilt == f
+
+    def test_algebra_against_python_sets(self, z):
+        rnd = random.Random(7)
+        universe = list(range(4))
+        fam_a = {frozenset(v for v in universe if rnd.random() < 0.5) for _ in range(6)}
+        fam_b = {frozenset(v for v in universe if rnd.random() < 0.5) for _ in range(6)}
+        a = z.from_sets([set(s) for s in fam_a])
+        b = z.from_sets([set(s) for s in fam_b])
+        assert set(z.iter_sets(z.union(a, b))) == fam_a | fam_b
+        assert set(z.iter_sets(z.intersection(a, b))) == fam_a & fam_b
+        assert set(z.iter_sets(z.difference(a, b))) == fam_a - fam_b
+
+
+class TestCanonicityAndSize:
+    def test_from_sets_canonical(self, z):
+        f = family(z, [{0}, {1, 2}, set()])
+        g = family(z, [set(), {1, 2}, {0}])
+        assert f == g
+
+    def test_count_matches_enumeration(self, z):
+        f = family(z, [{0}, {1}, {0, 1}, {2, 3}])
+        assert z.count(f) == len(list(z.iter_sets(f)))
+
+    def test_sparse_family_is_small(self):
+        # ZDD of {{0}, {5}} over 6 vars has exactly 2 internal nodes.
+        z = ZDD(6)
+        f = z.from_sets([{0}, {5}])
+        assert z.size(f, include_terminals=False) == 2
+
+    def test_level_widths(self):
+        z = ZDD(3)
+        f = z.from_sets([{0, 1, 2}])
+        assert z.level_widths(f) == [1, 1, 1]
+
+
+class TestTruthTableBridge:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_roundtrip(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(1, 5)
+        order = list(range(n))
+        rnd.shuffle(order)
+        tt = TruthTable.random(n, seed=seed + 300)
+        z = ZDD(n, order)
+        root = z.from_truth_table(tt)
+        assert z.to_truth_table(root) == tt
+
+    def test_evaluate_zero_suppression(self):
+        z = ZDD(3)
+        root = z.from_sets([{1}])
+        # {1} is in the family; {0,1} is not (x0 skipped => must be 0)
+        assert z.evaluate(root, [0, 1, 0]) == 1
+        assert z.evaluate(root, [1, 1, 0]) == 0
+
+    def test_evaluate_arity(self):
+        z = ZDD(2)
+        with pytest.raises(DimensionError):
+            z.evaluate(z.base, [0])
+
+    def test_family_and_characteristic_function_agree(self):
+        z = ZDD(4)
+        sets = [{0, 2}, {1}, set(), {0, 1, 2, 3}]
+        root = z.from_sets(sets)
+        tt = z.to_truth_table(root)
+        for bits in itertools.product((0, 1), repeat=4):
+            member = {v for v in range(4) if bits[v]} in [set(s) for s in sets]
+            assert tt(*bits) == int(member)
+
+    def test_tautology_zdd(self):
+        # Constant-1 function: family of all subsets.
+        z = ZDD(3)
+        root = z.from_truth_table(TruthTable.constant(3, 1))
+        assert z.count(root) == 8
+
+
+class TestExtendedAlgebra:
+    """Minato's deeper operators: maximal/minimal/nonsubsets/nonsupersets."""
+
+    def brute(self, z, fam):
+        return z.from_sets([set(s) for s in fam])
+
+    def test_symmetric_difference(self):
+        z = ZDD(3)
+        a = self.brute(z, [{0}, {1}, {0, 2}])
+        b = self.brute(z, [{1}, {2}])
+        assert set(z.iter_sets(z.symmetric_difference(a, b))) == {
+            frozenset({0}), frozenset({0, 2}), frozenset({2})
+        }
+
+    def test_maximal(self):
+        z = ZDD(4)
+        f = self.brute(z, [{0}, {0, 1}, {2}, {0, 1, 3}, set()])
+        assert set(z.iter_sets(z.maximal(f))) == {
+            frozenset({0, 1, 3}), frozenset({2})
+        }
+
+    def test_minimal(self):
+        z = ZDD(4)
+        f = self.brute(z, [{0}, {0, 1}, {2}, {0, 1, 3}])
+        assert set(z.iter_sets(z.minimal(f))) == {
+            frozenset({0}), frozenset({2})
+        }
+
+    def test_maximal_minimal_of_antichain_identity(self):
+        z = ZDD(4)
+        antichain = self.brute(z, [{0, 1}, {2, 3}, {0, 3}])
+        assert z.maximal(antichain) == antichain
+        assert z.minimal(antichain) == antichain
+
+    def test_nonsubsets(self):
+        z = ZDD(3)
+        f = self.brute(z, [{0}, {1, 2}, set()])
+        g = self.brute(z, [{0, 1}])
+        # {0} and {} are subsets of {0,1}; {1,2} is not
+        assert set(z.iter_sets(z.nonsubsets(f, g))) == {frozenset({1, 2})}
+
+    def test_nonsupersets(self):
+        z = ZDD(3)
+        f = self.brute(z, [{0}, {0, 1}, {2}])
+        g = self.brute(z, [{0}])
+        assert set(z.iter_sets(z.nonsupersets(f, g))) == {frozenset({2})}
+
+    def test_nonsubsets_empty_g(self):
+        z = ZDD(2)
+        f = self.brute(z, [{0}])
+        assert z.nonsubsets(f, z.empty) == f
+        assert z.nonsupersets(f, z.empty) == f
+
+    def test_nonsupersets_base_g_kills_all(self):
+        z = ZDD(2)
+        f = self.brute(z, [{0}, set()])
+        assert z.nonsupersets(f, z.base) == z.empty
+
+    def test_supersets_of(self):
+        z = ZDD(3)
+        f = self.brute(z, [{0, 1}, {1}, {1, 2}, {0}])
+        assert set(z.iter_sets(z.supersets_of(f, [1]))) == {
+            frozenset({0, 1}), frozenset({1}), frozenset({1, 2})
+        }
+
+    def test_randomized_against_python_sets(self):
+        import random as rnd_mod
+
+        rnd = rnd_mod.Random(9)
+        for _ in range(20):
+            n = rnd.randint(1, 5)
+            z = ZDD(n)
+            fam_a = {frozenset(v for v in range(n) if rnd.random() < 0.5)
+                     for _ in range(6)}
+            fam_b = {frozenset(v for v in range(n) if rnd.random() < 0.5)
+                     for _ in range(6)}
+            a = self.brute(z, fam_a)
+            b = self.brute(z, fam_b)
+            assert set(z.iter_sets(z.maximal(a))) == {
+                s for s in fam_a if not any(s < t for t in fam_a)
+            }
+            assert set(z.iter_sets(z.minimal(a))) == {
+                s for s in fam_a if not any(t < s for t in fam_a)
+            }
+            assert set(z.iter_sets(z.nonsubsets(a, b))) == {
+                s for s in fam_a if not any(s <= t for t in fam_b)
+            }
+            assert set(z.iter_sets(z.nonsupersets(a, b))) == {
+                s for s in fam_a if not any(t <= s for t in fam_b)
+            }

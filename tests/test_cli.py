@@ -1,0 +1,174 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import load_diagram, write_pla
+from repro.truth_table import TruthTable
+
+
+@pytest.fixture
+def run(capsys):
+    def invoke(*argv):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    return invoke
+
+
+class TestOptimize:
+    def test_expr(self, run):
+        code, out, err = run("optimize", "--expr", "x0 & x1 | x2 & x3")
+        assert code == 0
+        assert "total size       : 6" in out
+        assert "optimal ordering" in out
+
+    @pytest.mark.parametrize("algorithm", ["fs", "astar", "optobdd", "bruteforce"])
+    def test_algorithms_agree(self, run, algorithm):
+        code, out, _ = run(
+            "optimize", "--expr", "x0 & x1 | x2", "--algorithm", algorithm
+        )
+        assert code == 0
+        assert "internal nodes   : 3" in out
+
+    def test_zdd_rule(self, run):
+        code, out, _ = run("optimize", "--expr", "x0 & x1", "--rule", "zdd")
+        assert code == 0
+        assert "rule             : zdd" in out
+
+    def test_pla_input(self, run, tmp_path):
+        table = TruthTable.random(4, seed=1)
+        path = tmp_path / "f.pla"
+        path.write_text(write_pla(table))
+        code, out, _ = run("optimize", "--pla", str(path))
+        assert code == 0
+        assert "variables        : 4" in out
+
+    def test_blif_input(self, run, tmp_path):
+        path = tmp_path / "ha.blif"
+        path.write_text(
+            ".model m\n.inputs a b\n.outputs s\n.names a b s\n10 1\n01 1\n.end\n"
+        )
+        code, out, _ = run("optimize", "--blif", str(path))
+        assert code == 0
+        assert "internal nodes   : 3" in out  # XOR
+
+    def test_dimacs_input(self, run, tmp_path):
+        path = tmp_path / "f.cnf"
+        path.write_text("p cnf 2 2\n1 0\n2 0\n")
+        code, out, _ = run("optimize", "--dimacs", str(path))
+        assert code == 0
+        assert "internal nodes   : 2" in out  # x0 & x1
+
+    def test_exports(self, run, tmp_path):
+        dot = tmp_path / "d.dot"
+        blob = tmp_path / "d.json"
+        code, out, _ = run(
+            "optimize", "--expr", "x0 & x1",
+            "--dot", str(dot), "--json", str(blob),
+        )
+        assert code == 0
+        assert dot.read_text().startswith("digraph")
+        diagram = load_diagram(blob)
+        assert diagram.to_truth_table() == TruthTable.from_callable(
+            2, lambda a, b: a & b
+        )
+
+    def test_requires_exactly_one_source(self, run, tmp_path):
+        code, _, err = run("optimize")
+        assert code == 2 and "exactly one" in err
+        path = tmp_path / "f.pla"
+        path.write_text(write_pla(TruthTable.random(2, seed=0)))
+        code, _, err = run("optimize", "--expr", "x0", "--pla", str(path))
+        assert code == 2
+
+    def test_too_many_variables(self, run):
+        code, _, err = run(
+            "optimize", "--expr", "x0", "--num-vars", "20"
+        )
+        assert code == 2 and "practical range" in err
+
+
+class TestOtherCommands:
+    def test_tables(self, run):
+        code, out, _ = run("tables")
+        assert code == 0
+        assert "gamma_0 = 2.98581" in out
+        assert "k=6: gamma=2.83728" in out
+        assert "2.77286" in out
+
+    def test_gap(self, run):
+        code, out, _ = run("gap", "--max-pairs", "3")
+        assert code == 0
+        lines = [l for l in out.splitlines() if l and l[0].isdigit() is False]
+        assert "pairs" in out
+        assert "    3     6           8            16        8" in out
+
+    def test_heuristics(self, run):
+        code, out, _ = run("heuristics", "--expr", "x0 & x1 | x2 & x3")
+        assert code == 0
+        assert "exact (FS)" in out
+        assert "sift" in out
+        assert "(1.00x)" in out  # exact row at least
+
+
+class TestSharedOptimize:
+    def test_all_outputs_blif(self, run, tmp_path):
+        path = tmp_path / "ha.blif"
+        path.write_text(
+            ".model ha\n.inputs a b\n.outputs s c\n"
+            ".names a b s\n10 1\n01 1\n.names a b c\n11 1\n.end\n"
+        )
+        code, out, _ = run("optimize", "--blif", str(path), "--all-outputs")
+        assert code == 0
+        assert "outputs          : 2 (s c)" in out
+        assert "shared nodes     : 4" in out
+
+    def test_all_outputs_pla(self, run, tmp_path):
+        path = tmp_path / "f.pla"
+        path.write_text(".i 2\n.o 2\n11 10\n01 01\n.e\n")
+        code, out, _ = run("optimize", "--pla", str(path), "--all-outputs")
+        assert code == 0
+        assert "outputs          : 2" in out
+
+    def test_all_outputs_requires_file_input(self, run):
+        code, _, err = run("optimize", "--expr", "x0", "--all-outputs")
+        assert code == 2 and "requires" in err
+
+
+class TestReproduce:
+    def test_quick_reproduction_passes(self, run):
+        code, out, _ = run("reproduce", "--quick")
+        assert code == 0
+        assert "checks passed" in out
+        assert "FAIL" not in out
+        assert "Table 2, iteration 10" in out
+
+
+class TestSymmetryAndCertify:
+    def test_symmetry_command(self, run):
+        code, out, _ = run("symmetry", "--expr", "x0 & x1 | x2 & x3")
+        assert code == 0
+        assert "{x0 x1} {x2 x3}" in out
+        assert "ordering orbits  : 6 of 24" in out
+        assert "size spread" in out
+
+    def test_certify_roundtrip(self, run, tmp_path):
+        path = tmp_path / "cert.json"
+        code, out, _ = run("certify", "--expr", "x0 & x1 | x2",
+                           "--out", str(path))
+        assert code == 0 and "certified optimum: 3" in out
+        code, out, _ = run("certify", "--expr", "x0 & x1 | x2",
+                           "--check", str(path))
+        assert code == 0 and "VALID" in out
+
+    def test_certify_detects_wrong_function(self, run, tmp_path):
+        path = tmp_path / "cert.json"
+        run("certify", "--expr", "x0 & x1 | x2", "--out", str(path))
+        # xor has a different DP table, so the certificate cannot verify
+        code, out, _ = run("certify", "--expr", "x0 ^ x1 ^ x2",
+                           "--check", str(path))
+        assert code == 1 and "INVALID" in out

@@ -1,0 +1,82 @@
+"""Unit tests for the A* exact ordering search."""
+
+import pytest
+
+from repro.core import ReductionRule, run_fs
+from repro.core.astar import astar_optimal_ordering
+from repro.functions import achilles_heel, multiplexer, parity
+from repro.truth_table import TruthTable, count_subfunctions
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_fs_random(self, seed):
+        n = 2 + seed % 4
+        tt = TruthTable.random(n, seed=seed)
+        a = astar_optimal_ordering(tt)
+        assert a.mincost == run_fs(tt).mincost
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_order_achieves_mincost(self, seed):
+        tt = TruthTable.random(5, seed=20 + seed)
+        a = astar_optimal_ordering(tt)
+        assert sum(count_subfunctions(tt, list(a.order))) == a.mincost
+
+    def test_zdd_rule(self):
+        tt = TruthTable.random(5, seed=30)
+        assert (
+            astar_optimal_ordering(tt, rule=ReductionRule.ZDD).mincost
+            == run_fs(tt, rule=ReductionRule.ZDD).mincost
+        )
+
+    def test_mtbdd_rule(self):
+        tt = TruthTable.random(4, seed=31, num_values=3)
+        assert (
+            astar_optimal_ordering(tt, rule=ReductionRule.MTBDD).mincost
+            == run_fs(tt, rule=ReductionRule.MTBDD).mincost
+        )
+
+    def test_constant_function(self):
+        a = astar_optimal_ordering(TruthTable.constant(3, 1))
+        assert a.mincost == 0
+
+    def test_single_variable(self):
+        a = astar_optimal_ordering(TruthTable.projection(1, 0))
+        assert a.mincost == 1 and a.order == (0,)
+
+
+class TestSearchBehaviour:
+    def test_expands_fewer_states_on_structured_input(self):
+        tt = achilles_heel(4)
+        a = astar_optimal_ordering(tt)
+        assert a.states_expanded < (1 << 8)  # strictly beats FS
+
+    def test_multiplexer_pruning(self):
+        tt = multiplexer(2)
+        a = astar_optimal_ordering(tt)
+        assert a.mincost == 7
+        assert a.states_expanded < (1 << tt.n)
+
+    def test_never_expands_more_than_fs(self):
+        for seed in range(4):
+            tt = TruthTable.random(5, seed=40 + seed)
+            a = astar_optimal_ordering(tt)
+            assert a.states_expanded <= (1 << 5)
+
+    def test_generated_counts_compactions(self):
+        tt = TruthTable.random(4, seed=50)
+        a = astar_optimal_ordering(tt)
+        assert a.states_generated == a.counters.compactions
+
+    def test_symmetric_function_no_pruning_advantage(self):
+        # Parity's DP landscape is flat: every subset is on an optimal
+        # path, so A* must expand everything (documented degradation).
+        tt = parity(5)
+        a = astar_optimal_ordering(tt)
+        assert a.states_expanded == (1 << 5)
+
+    def test_pi_order_consistency(self):
+        tt = TruthTable.random(4, seed=51)
+        a = astar_optimal_ordering(tt)
+        assert tuple(reversed(a.pi)) == a.order
+        assert sorted(a.order) == list(range(4))

@@ -1,0 +1,117 @@
+"""Unit tests for optimality certificates and anytime A* bounds."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    OptimalityCertificate,
+    ReductionRule,
+    extract_certificate,
+    run_fs,
+    verify_achievability,
+    verify_certificate,
+    verify_lower_bound,
+)
+from repro.core.astar import astar_optimal_ordering
+from repro.errors import ParseError
+from repro.truth_table import TruthTable, count_subfunctions
+
+
+class TestCertificates:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_genuine_certificates_verify(self, seed):
+        table = TruthTable.random(4, seed=seed)
+        certificate = extract_certificate(run_fs(table))
+        assert verify_certificate(table, certificate)
+
+    def test_understated_claim_rejected(self):
+        table = TruthTable.random(4, seed=10)
+        certificate = extract_certificate(run_fs(table))
+        forged = dataclasses.replace(certificate, mincost=certificate.mincost - 1)
+        assert not verify_certificate(table, forged)
+
+    def test_tampered_table_rejected(self):
+        table = TruthTable.random(4, seed=11)
+        certificate = extract_certificate(run_fs(table))
+        tampered = dataclasses.replace(
+            certificate,
+            mincost_by_subset={
+                **certificate.mincost_by_subset,
+                3: certificate.mincost_by_subset[3] + 1,
+            },
+        )
+        assert not verify_lower_bound(table, tampered)
+
+    def test_wrong_function_rejected(self):
+        table = TruthTable.random(4, seed=12)
+        other = TruthTable.random(4, seed=13)
+        certificate = extract_certificate(run_fs(table))
+        assert not verify_certificate(other, certificate)
+
+    def test_incomplete_table_rejected(self):
+        table = TruthTable.random(3, seed=14)
+        certificate = extract_certificate(run_fs(table))
+        partial = dict(certificate.mincost_by_subset)
+        del partial[5]
+        assert not verify_lower_bound(
+            table, dataclasses.replace(certificate, mincost_by_subset=partial)
+        )
+
+    def test_bad_order_rejected(self):
+        table = TruthTable.random(3, seed=15)
+        certificate = extract_certificate(run_fs(table))
+        assert not verify_achievability(
+            table, dataclasses.replace(certificate, order=(0, 0, 1))
+        )
+
+    def test_json_roundtrip(self):
+        table = TruthTable.random(4, seed=16)
+        certificate = extract_certificate(run_fs(table))
+        restored = OptimalityCertificate.from_json(certificate.to_json())
+        assert restored == certificate
+        assert verify_certificate(table, restored)
+
+    def test_json_validation(self):
+        with pytest.raises(ParseError):
+            OptimalityCertificate.from_json("{nope")
+        with pytest.raises(ParseError):
+            OptimalityCertificate.from_json('{"format": "other"}')
+
+    def test_only_bdd_rule(self):
+        table = TruthTable.random(3, seed=17)
+        with pytest.raises(ValueError):
+            extract_certificate(run_fs(table, rule=ReductionRule.ZDD))
+
+
+class TestAnytimeAStar:
+    @pytest.mark.parametrize("budget", [1, 2, 8, 30])
+    def test_bounds_bracket_optimum(self, budget):
+        table = TruthTable.random(5, seed=20)
+        optimum = run_fs(table).mincost
+        result = astar_optimal_ordering(table, max_expansions=budget)
+        assert result.lower_bound <= optimum <= result.mincost
+        assert sum(count_subfunctions(table, list(result.order))) == result.mincost
+
+    def test_flag_set_correctly(self):
+        table = TruthTable.random(5, seed=21)
+        cut = astar_optimal_ordering(table, max_expansions=2)
+        full = astar_optimal_ordering(table)
+        assert not cut.optimal and cut.gap >= 0
+        assert full.optimal and full.gap == 0
+        assert full.lower_bound == full.mincost
+
+    def test_large_budget_reaches_optimality(self):
+        table = TruthTable.random(4, seed=22)
+        result = astar_optimal_ordering(table, max_expansions=1 << 10)
+        assert result.optimal
+        assert result.mincost == run_fs(table).mincost
+
+    def test_incumbent_improves_with_budget(self):
+        table = TruthTable.random(6, seed=23)
+        sizes = [
+            astar_optimal_ordering(table, max_expansions=b).mincost
+            for b in (1, 8, 64, 1 << 12)
+        ]
+        assert sizes[-1] == run_fs(table).mincost
+        assert min(sizes) == sizes[-1]

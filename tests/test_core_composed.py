@@ -1,0 +1,96 @@
+"""Unit tests for the Section 4 composition (OptOBDD*_Gamma)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ReductionRule,
+    TABLE2_ALPHAS,
+    TABLE2_BETAS,
+    initial_state,
+    make_composed_solver,
+    opt_obdd_composed,
+    run_fs,
+)
+from repro.quantum import QuantumMinimumFinder, QueryLedger
+from repro.truth_table import TruthTable
+
+
+class TestSchedule:
+    def test_table2_shapes(self):
+        assert len(TABLE2_ALPHAS) == 10
+        assert all(len(row) == 6 for row in TABLE2_ALPHAS)
+        assert len(TABLE2_BETAS) == 10
+
+    def test_alphas_decrease_with_depth(self):
+        # Deeper (faster) subroutines shift the division points down.
+        for earlier, later in zip(TABLE2_ALPHAS, TABLE2_ALPHAS[1:]):
+            assert later[0] < earlier[0]
+
+    def test_betas_decrease_to_theorem13(self):
+        assert list(TABLE2_BETAS) == sorted(TABLE2_BETAS, reverse=True)
+        assert TABLE2_BETAS[-1] == 2.77286
+
+
+class TestSolverFactory:
+    def test_depth_zero_is_fs_star(self):
+        tt = TruthTable.random(4, seed=1)
+        solver = make_composed_solver(0)
+        final = solver(initial_state(tt), 0b1111)
+        assert final.mincost == run_fs(tt).mincost
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_deeper_solvers_remain_optimal(self, depth):
+        tt = TruthTable.random(5, seed=depth)
+        solver = make_composed_solver(depth)
+        final = solver(initial_state(tt), 0b11111)
+        assert final.mincost == run_fs(tt).mincost
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            make_composed_solver(-1)
+        with pytest.raises(ValueError):
+            make_composed_solver(11)
+
+    def test_partial_extension(self):
+        # Composed solver extending a nonempty base matches FS*.
+        from repro.core import compact, run_fs_star
+
+        tt = TruthTable.random(5, seed=4)
+        base = compact(initial_state(tt), 2)
+        reference = run_fs_star(base, 0b11011).mincost
+        solver = make_composed_solver(1)
+        assert solver(base, 0b11011).mincost == reference
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("depth", [0, 1, 2])
+    def test_composed_run_optimal(self, depth):
+        tt = TruthTable.random(5, seed=10 + depth)
+        result = opt_obdd_composed(tt, depth=depth)
+        assert result.mincost == run_fs(tt).mincost
+
+    def test_zdd_rule(self):
+        tt = TruthTable.random(4, seed=20)
+        result = opt_obdd_composed(tt, depth=1, rule=ReductionRule.ZDD)
+        assert result.mincost == run_fs(tt, rule=ReductionRule.ZDD).mincost
+
+    def test_quantum_finder_ledger_grows_with_depth(self):
+        tt = TruthTable.random(5, seed=21)
+        totals = []
+        for depth in (1, 2):
+            ledger = QueryLedger()
+            finder = QuantumMinimumFinder(ledger=ledger, epsilon=1e-4,
+                                          rng=random.Random(0))
+            opt_obdd_composed(tt, depth=depth, finder=finder)
+            totals.append(ledger.total)
+        # Nested composition makes strictly more minimum-finding calls.
+        assert totals[1] > totals[0] > 0
+
+    def test_custom_schedule(self):
+        tt = TruthTable.random(5, seed=22)
+        result = opt_obdd_composed(
+            tt, depth=1, alpha_schedule=[(0.25, 0.5)]
+        )
+        assert result.mincost == run_fs(tt).mincost

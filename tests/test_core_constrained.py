@@ -1,0 +1,165 @@
+"""Unit tests for precedence-constrained exact ordering and .bench IO."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import (
+    ReductionRule,
+    order_satisfies,
+    run_fs,
+    run_fs_constrained,
+)
+from repro.errors import DimensionError, OrderingError, ParseError
+from repro.truth_table import TruthTable, count_subfunctions
+
+
+def constrained_brute_force(table, precedence):
+    return min(
+        sum(count_subfunctions(table, list(perm)))
+        for perm in itertools.permutations(range(table.n))
+        if order_satisfies(perm, precedence)
+    )
+
+
+class TestConstrainedFS:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_constrained_brute_force(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(2, 5)
+        table = TruthTable.random(n, seed=seed)
+        precedence = []
+        for _ in range(rnd.randint(1, 3)):
+            a, b = sorted(rnd.sample(range(n), 2))
+            precedence.append((a, b))
+        result = run_fs_constrained(table, precedence)
+        assert order_satisfies(result.order, precedence)
+        assert result.mincost == constrained_brute_force(table, precedence)
+
+    def test_empty_precedence_equals_fs(self):
+        table = TruthTable.random(5, seed=10)
+        assert run_fs_constrained(table, []).mincost == run_fs(table).mincost
+
+    def test_constraints_can_cost(self):
+        # Force the achilles pairs apart: the constrained optimum exceeds
+        # the free optimum.
+        from repro.functions import achilles_heel
+
+        table = achilles_heel(2)
+        forced = run_fs_constrained(table, [(0, 2), (2, 1)])  # 0 < 2 < 1
+        free = run_fs(table)
+        assert forced.mincost > free.mincost
+
+    def test_total_order_single_chain(self):
+        table = TruthTable.random(4, seed=11)
+        chain = [(0, 1), (1, 2), (2, 3)]
+        result = run_fs_constrained(table, chain)
+        assert result.order == (0, 1, 2, 3)
+        assert result.feasible_subsets == 4
+        assert result.mincost == sum(count_subfunctions(table, [0, 1, 2, 3]))
+
+    def test_transitive_closure(self):
+        # a<b and b<c implies a<c even without stating it.
+        table = TruthTable.random(4, seed=12)
+        result = run_fs_constrained(table, [(0, 1), (1, 2)])
+        assert result.order.index(0) < result.order.index(2)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(OrderingError):
+            run_fs_constrained(TruthTable.random(3, seed=0),
+                               [(0, 1), (1, 2), (2, 0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(OrderingError):
+            run_fs_constrained(TruthTable.random(2, seed=0), [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DimensionError):
+            run_fs_constrained(TruthTable.random(2, seed=0), [(0, 5)])
+
+    def test_feasible_subsets_shrink(self):
+        table = TruthTable.random(5, seed=13)
+        free = run_fs_constrained(table, [])
+        constrained = run_fs_constrained(table, [(0, 1), (0, 2), (0, 3)])
+        assert constrained.feasible_subsets < free.feasible_subsets == 31
+
+    def test_zdd_rule(self):
+        table = TruthTable.random(4, seed=14)
+        precedence = [(0, 3)]
+        result = run_fs_constrained(table, precedence, rule=ReductionRule.ZDD)
+        assert order_satisfies(result.order, precedence)
+        from repro.bdd import ZDD
+
+        manager = ZDD(4, list(result.order))
+        assert (
+            manager.size(manager.from_truth_table(table),
+                         include_terminals=False)
+            == result.mincost
+        )
+
+
+class TestBenchFormat:
+    def test_c17_matches_programmatic_circuit(self):
+        from repro.expr import to_truth_table
+        from repro.functions import c17
+        from repro.io import C17_BENCH, parse_bench
+
+        assert to_truth_table(parse_bench(C17_BENCH)) == to_truth_table(c17())
+
+    def test_output_selection(self):
+        from repro.io import C17_BENCH, parse_bench
+
+        circuit = parse_bench(C17_BENCH, output="23")
+        assert circuit.output == "23"
+        with pytest.raises(ParseError):
+            parse_bench(C17_BENCH, output="99")
+
+    def test_roundtrip(self):
+        from repro.expr import to_truth_table
+        from repro.io import C17_BENCH, parse_bench, write_bench
+
+        circuit = parse_bench(C17_BENCH)
+        again = parse_bench(write_bench(circuit, outputs=["22", "23"]))
+        assert to_truth_table(again) == to_truth_table(circuit)
+
+    def test_out_of_order_assignments(self):
+        from repro.io import parse_bench
+
+        text = ("INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+                "y = NOT(t)\nt = AND(a, b)\n")
+        circuit = parse_bench(text)
+        assert circuit.evaluate([1, 1]) == 0
+
+    @pytest.mark.parametrize("bad", [
+        "OUTPUT(y)\ny = AND(a, b)\n",                       # no inputs
+        "INPUT(a)\ny = AND(a, a)\n",                        # no outputs
+        "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n",               # unknown gate
+        "INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n",                # sequential
+        "INPUT(a)\nOUTPUT(y)\nthis is not a line\n",        # junk
+        "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n",         # undriven
+        "INPUT(a)\nOUTPUT(y)\ny = NOT(z)\nz = NOT(y)\n",    # cycle
+    ])
+    def test_errors(self, bad):
+        from repro.io import parse_bench
+
+        with pytest.raises(ParseError):
+            parse_bench(bad)
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.expr import to_truth_table
+        from repro.io import C17_BENCH, read_bench
+
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        circuit = read_bench(path, output="22")
+        table = to_truth_table(circuit)
+        assert table.n == 5
+
+    def test_optimizer_pipeline(self, tmp_path):
+        from repro.expr import to_truth_table
+        from repro.io import C17_BENCH, parse_bench
+
+        table = to_truth_table(parse_bench(C17_BENCH))
+        result = run_fs(table)
+        assert result.mincost == 4  # the c17 n22 optimum (golden corpus)

@@ -1,0 +1,107 @@
+"""Unit tests for diagram reconstruction (Theorem 1's 'produces a minimum
+OBDD together with the ordering')."""
+
+import pytest
+
+from repro.bdd import BDD, MTBDD, ZDD
+from repro.core import (
+    ReductionRule,
+    build_diagram,
+    reconstruct_minimum_diagram,
+    run_fs,
+)
+from repro.errors import OrderingError
+from repro.functions import achilles_heel
+from repro.truth_table import TruthTable, count_subfunctions
+
+
+class TestBuildDiagram:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roundtrip_bdd(self, seed):
+        tt = TruthTable.random(4, seed=seed)
+        order = [2, 0, 3, 1]
+        diagram = build_diagram(tt, order)
+        assert diagram.to_truth_table() == tt
+
+    def test_widths_match_oracle(self):
+        tt = TruthTable.random(5, seed=10)
+        order = [4, 2, 0, 1, 3]
+        diagram = build_diagram(tt, order)
+        assert diagram.level_widths() == count_subfunctions(tt, order)
+
+    def test_size_matches_manager(self):
+        tt = TruthTable.random(4, seed=11)
+        order = [0, 3, 1, 2]
+        diagram = build_diagram(tt, order)
+        mgr = BDD(4, order)
+        assert diagram.size == mgr.size(mgr.from_truth_table(tt))
+
+    def test_invalid_order(self):
+        with pytest.raises(OrderingError):
+            build_diagram(TruthTable.random(3, seed=0), [0, 1, 1])
+
+    def test_constant_function(self):
+        diagram = build_diagram(TruthTable.constant(3, 1), [0, 1, 2])
+        assert diagram.mincost == 0
+        assert diagram.root == 1
+        assert diagram.size == 1  # only the T terminal is reachable
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_roundtrip_zdd(self, seed):
+        tt = TruthTable.random(4, seed=100 + seed)
+        order = [1, 3, 0, 2]
+        diagram = build_diagram(tt, order, ReductionRule.ZDD)
+        assert diagram.to_truth_table() == tt
+        z = ZDD(4, order)
+        assert diagram.mincost == z.size(z.from_truth_table(tt),
+                                         include_terminals=False)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_roundtrip_mtbdd(self, seed):
+        tt = TruthTable.random(4, seed=200 + seed, num_values=4)
+        order = [3, 1, 2, 0]
+        diagram = build_diagram(tt, order, ReductionRule.MTBDD)
+        assert diagram.to_truth_table() == tt
+        m = MTBDD(4, order)
+        assert diagram.mincost == m.size(m.from_truth_table(tt),
+                                         include_terminals=False)
+
+    def test_node_children_precede_parents(self):
+        diagram = build_diagram(TruthTable.random(5, seed=12), list(range(5)))
+        for node_id, (_, lo, hi) in diagram.nodes.items():
+            assert lo < node_id and hi < node_id
+
+
+class TestReconstructMinimum:
+    @pytest.mark.parametrize("rule", list(ReductionRule))
+    def test_minimum_diagram_is_correct_and_minimal(self, rule):
+        if rule is ReductionRule.MTBDD:
+            tt = TruthTable.random(4, seed=13, num_values=3)
+        else:
+            tt = TruthTable.random(4, seed=13)
+        result = run_fs(tt, rule=rule)
+        diagram = reconstruct_minimum_diagram(tt, result)
+        assert diagram.to_truth_table() == tt
+        assert diagram.mincost == result.mincost
+        assert diagram.order == result.order
+
+    def test_achilles_minimum_shape(self):
+        tt = achilles_heel(3)
+        result = run_fs(tt)
+        diagram = reconstruct_minimum_diagram(tt, result)
+        # Figure 1 left: one node per level.
+        assert diagram.level_widths() == [1, 1, 1, 1, 1, 1]
+        assert diagram.size == 8
+
+    def test_terminal_values_boolean(self):
+        tt = TruthTable.random(3, seed=14)
+        diagram = reconstruct_minimum_diagram(tt, run_fs(tt))
+        assert diagram.terminal_values == [0, 1]
+
+    def test_terminal_values_mtbdd(self):
+        tt = TruthTable(2, [5, 9, 5, 7])
+        diagram = reconstruct_minimum_diagram(
+            tt, run_fs(tt, rule=ReductionRule.MTBDD)
+        )
+        assert diagram.terminal_values == [5, 7, 9]
+        assert diagram.evaluate([0, 0]) == 5

@@ -1,0 +1,113 @@
+"""Unit tests for exact window optimization (FS* on a slice)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import ReductionRule, exact_window, run_fs, window_sweep
+from repro.errors import OrderingError
+from repro.functions import achilles_bad_order, achilles_heel
+from repro.truth_table import TruthTable, count_subfunctions
+
+
+def best_window_by_enumeration(table, order, start, width):
+    best = None
+    for perm in itertools.permutations(order[start:start + width]):
+        candidate = order[:start] + list(perm) + order[start + width:]
+        size = sum(count_subfunctions(table, candidate))
+        best = size if best is None or size < best else best
+    return best
+
+
+class TestExactWindow:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_window_enumeration(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(3, 6)
+        tt = TruthTable.random(n, seed=seed)
+        order = list(range(n))
+        rnd.shuffle(order)
+        width = rnd.randint(2, n)
+        start = rnd.randint(0, n - width)
+        result = exact_window(tt, order, start, width)
+        assert result.size == best_window_by_enumeration(tt, order, start, width)
+
+    def test_outside_window_untouched(self):
+        tt = TruthTable.random(5, seed=10)
+        order = [4, 2, 0, 3, 1]
+        result = exact_window(tt, order, 1, 3)
+        assert list(result.order[:1]) == order[:1]
+        assert list(result.order[4:]) == order[4:]
+        assert sorted(result.order[1:4]) == sorted(order[1:4])
+
+    def test_full_width_equals_global_optimum(self):
+        tt = TruthTable.random(5, seed=11)
+        result = exact_window(tt, list(range(5)), 0, 5)
+        assert result.size == run_fs(tt).mincost
+
+    def test_never_regresses(self):
+        tt = TruthTable.random(5, seed=12)
+        order = [1, 3, 0, 4, 2]
+        before = sum(count_subfunctions(tt, order))
+        result = exact_window(tt, order, 2, 2)
+        assert result.size <= before
+
+    def test_improved_flag(self):
+        tt = achilles_heel(2)
+        no_gain = exact_window(tt, [0, 1, 2, 3], 0, 2)
+        assert not no_gain.improved
+        gain = exact_window(tt, achilles_bad_order(2), 0, 4)
+        assert gain.improved
+
+    def test_validation(self):
+        tt = TruthTable.random(3, seed=13)
+        with pytest.raises(OrderingError):
+            exact_window(tt, [0, 1], 0, 2)
+        with pytest.raises(OrderingError):
+            exact_window(tt, [0, 1, 2], 2, 2)
+        with pytest.raises(OrderingError):
+            exact_window(tt, [0, 1, 2], -1, 2)
+
+    def test_zdd_rule(self):
+        tt = TruthTable.random(4, seed=14)
+        result = exact_window(tt, list(range(4)), 0, 4, rule=ReductionRule.ZDD)
+        assert result.size == run_fs(tt, rule=ReductionRule.ZDD).mincost
+
+
+class TestWindowSweep:
+    def test_achilles_recovery(self):
+        tt = achilles_heel(3)
+        result = window_sweep(tt, initial_order=achilles_bad_order(3), width=4)
+        assert result.size == 6  # internal nodes of the global optimum
+
+    def test_sweep_never_worse(self):
+        tt = TruthTable.random(6, seed=15)
+        initial = list(range(6))
+        result = window_sweep(tt, initial_order=initial, width=3)
+        assert result.size <= sum(count_subfunctions(tt, initial))
+
+    def test_sweep_result_consistent(self):
+        tt = TruthTable.random(6, seed=16)
+        result = window_sweep(tt, width=3)
+        assert sum(count_subfunctions(tt, list(result.order))) == result.size
+
+    def test_width_clamped_to_n(self):
+        tt = TruthTable.random(3, seed=17)
+        result = window_sweep(tt, width=5)
+        assert result.size == run_fs(tt).mincost
+
+    def test_width_validation(self):
+        with pytest.raises(OrderingError):
+            window_sweep(TruthTable.random(3, seed=0), width=1)
+
+    def test_wider_windows_at_least_as_good(self):
+        tt = TruthTable.random(6, seed=18)
+        narrow = window_sweep(tt, width=2)
+        wide = window_sweep(tt, width=4)
+        assert wide.size <= narrow.size
+
+    def test_counts_windows(self):
+        tt = TruthTable.random(4, seed=19)
+        result = window_sweep(tt, width=2)
+        assert result.windows_solved >= 3  # one round minimum

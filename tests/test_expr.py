@@ -1,0 +1,219 @@
+"""Unit tests for the expression layer (Corollary 2's representations)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import DimensionError, EvaluationError, ParseError
+from repro.expr import (
+    CNF,
+    DNF,
+    FALSE,
+    TRUE,
+    And,
+    Circuit,
+    Const,
+    Not,
+    Or,
+    Var,
+    Xor,
+    parse,
+    ripple_carry_adder_circuit,
+    to_truth_table,
+)
+from repro.functions import adder_bit
+from repro.truth_table import TruthTable
+
+
+class TestAst:
+    def test_evaluate_basic(self):
+        e = And((Var(0), Or((Var(1), Not(Var(2))))))
+        assert e.evaluate([1, 0, 0]) == 1
+        assert e.evaluate([1, 0, 1]) == 0
+
+    def test_operator_sugar(self):
+        e = (Var(0) & Var(1)) | ~Var(2) ^ Const(1)
+        tt = to_truth_table(e)
+        ref = TruthTable.from_callable(3, lambda a, b, c: (a & b) | ((1 - c) ^ 1))
+        assert tt == ref
+
+    def test_variables_and_num_vars(self):
+        e = Xor((Var(1), Var(4)))
+        assert e.variables() == frozenset({1, 4})
+        assert e.num_vars == 5
+
+    def test_constants(self):
+        assert TRUE.evaluate([]) == 1
+        assert FALSE.evaluate([]) == 0
+        assert TRUE.num_vars == 0
+
+    def test_repr_roundtrip_through_parser(self):
+        e = And((Var(0), Not(Var(1))))
+        assert to_truth_table(parse(repr(e))) == to_truth_table(e)
+
+
+class TestParser:
+    @pytest.mark.parametrize("text,fn", [
+        ("x0 & x1", lambda a, b: a & b),
+        ("x0 | x1", lambda a, b: a | b),
+        ("x0 ^ x1", lambda a, b: a ^ b),
+        ("~x0", lambda a, b: 1 - a),
+        ("~(x0 | x1)", lambda a, b: 1 - (a | b)),
+        ("x0 & x1 | x0 & ~x1", lambda a, b: a),
+        ("1 ^ x0", lambda a, b: 1 - a),
+        ("0 | x1", lambda a, b: b),
+    ])
+    def test_semantics(self, text, fn):
+        expr = parse(text)
+        tt = to_truth_table(expr, 2)
+        assert tt == TruthTable.from_callable(2, fn)
+
+    def test_precedence(self):
+        # & binds tighter than ^ binds tighter than |
+        e = parse("x0 | x1 ^ x2 & x3")
+        ref = TruthTable.from_callable(4, lambda a, b, c, d: a | (b ^ (c & d)))
+        assert to_truth_table(e) == ref
+
+    def test_named_variables_get_indices_in_order(self):
+        e = parse("alpha & beta | alpha")
+        assert e.num_vars == 2
+        assert to_truth_table(e) == TruthTable.from_callable(2, lambda a, b: a)
+
+    def test_explicit_indices(self):
+        assert parse("x5").num_vars == 6
+
+    @pytest.mark.parametrize("bad", ["x0 &", "(x0", "x0 x1", "&", "x0 ) x1", ""])
+    def test_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+
+class TestNormalForms:
+    def test_dnf_semantics(self):
+        d = DNF.of([[(0, True), (1, True)], [(2, False)]])
+        tt = to_truth_table(d)
+        ref = TruthTable.from_callable(3, lambda a, b, c: (a & b) | (1 - c))
+        assert tt == ref
+
+    def test_empty_dnf_is_false(self):
+        assert to_truth_table(DNF.of([]), 2) == TruthTable.constant(2, 0)
+
+    def test_cnf_semantics(self):
+        c = CNF.of([[(0, True), (1, True)], [(2, False)]])
+        tt = to_truth_table(c)
+        ref = TruthTable.from_callable(3, lambda a, b, c_: (a | b) & (1 - c_))
+        assert tt == ref
+
+    def test_empty_cnf_is_true(self):
+        assert to_truth_table(CNF.of([]), 2) == TruthTable.constant(2, 1)
+
+    def test_contradictory_literals_rejected(self):
+        with pytest.raises(ParseError):
+            DNF.of([[(0, True), (0, False)]])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(DimensionError):
+            CNF.of([[(-1, True)]])
+
+    def test_dimacs(self):
+        c = CNF.from_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n")
+        assert c.num_vars == 3
+        tt = to_truth_table(c)
+        ref = TruthTable.from_callable(
+            3, lambda a, b, c_: (a | (1 - b)) & (b | c_)
+        )
+        assert tt == ref
+
+    def test_duplicate_literals_deduped(self):
+        d = DNF.of([[(0, True), (0, True)]])
+        assert d.terms == (((0, True),),)
+
+    def test_reprs(self):
+        assert "x0" in repr(DNF.of([[(0, True)]]))
+        assert "~x1" in repr(CNF.of([[(1, False)]]))
+
+
+class TestCircuit:
+    def test_forward_evaluation(self):
+        circuit = Circuit(inputs=["a", "b"], output="y")
+        circuit.add_gate("and", "t", ["a", "b"])
+        circuit.add_gate("not", "y", ["t"])
+        assert circuit.evaluate([1, 1]) == 0
+        assert circuit.evaluate([1, 0]) == 1
+
+    def test_all_gate_kinds(self):
+        cases = {
+            "and": lambda a, b: a & b,
+            "or": lambda a, b: a | b,
+            "xor": lambda a, b: a ^ b,
+            "nand": lambda a, b: 1 - (a & b),
+            "nor": lambda a, b: 1 - (a | b),
+            "xnor": lambda a, b: 1 - (a ^ b),
+        }
+        for kind, fn in cases.items():
+            circuit = Circuit(inputs=["a", "b"], output="y")
+            circuit.add_gate(kind, "y", ["a", "b"])
+            for a, b in itertools.product((0, 1), repeat=2):
+                assert circuit.evaluate([a, b]) == fn(a, b), kind
+
+    def test_unknown_gate(self):
+        with pytest.raises(ParseError):
+            Circuit(inputs=["a"], output="y").add_gate("maj", "y", ["a"])
+
+    def test_double_drive_rejected(self):
+        circuit = Circuit(inputs=["a", "b"], output="y")
+        circuit.add_gate("and", "y", ["a", "b"])
+        with pytest.raises(ParseError):
+            circuit.add_gate("or", "y", ["a", "b"])
+
+    def test_shadowing_input_rejected(self):
+        with pytest.raises(ParseError):
+            Circuit(inputs=["a"], output="a").add_gate("not", "a", ["a"])
+
+    def test_undriven_wire(self):
+        circuit = Circuit(inputs=["a"], output="y")
+        circuit.add_gate("and", "y", ["a", "ghost"])
+        with pytest.raises(EvaluationError):
+            circuit.evaluate([1])
+
+    def test_ripple_carry_matches_reference(self):
+        for bits in (2, 3):
+            for output in range(bits + 1):
+                circuit = ripple_carry_adder_circuit(bits, output)
+                assert to_truth_table(circuit) == adder_bit(bits, output)
+
+
+class TestToTruthTable:
+    def test_truth_table_passthrough(self):
+        tt = TruthTable.random(3, seed=1)
+        assert to_truth_table(tt) is tt
+
+    def test_truth_table_n_mismatch(self):
+        with pytest.raises(DimensionError):
+            to_truth_table(TruthTable.random(3, seed=2), n=4)
+
+    def test_widening(self):
+        # An expression over x0 tabulated over 3 variables.
+        tt = to_truth_table(parse("x0"), n=3)
+        assert tt == TruthTable.projection(3, 0)
+
+    def test_too_narrow_rejected(self):
+        with pytest.raises(DimensionError):
+            to_truth_table(parse("x3"), n=2)
+
+    def test_plain_callable_requires_n(self):
+        with pytest.raises(DimensionError):
+            to_truth_table(lambda a: a)
+
+    def test_manager_node_pair(self):
+        from repro.bdd import BDD
+
+        mgr = BDD(2)
+        f = mgr.apply_xor(mgr.var(0), mgr.var(1))
+        assert to_truth_table((mgr, f)) == TruthTable.from_callable(
+            2, lambda a, b: a ^ b
+        )
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            to_truth_table(42)

@@ -1,0 +1,135 @@
+"""Unit tests for symbolic compilation (representations -> BDD nodes)."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.errors import EvaluationError
+from repro.expr import (
+    CNF,
+    DNF,
+    Circuit,
+    compile_circuit,
+    compile_cnf,
+    compile_dnf,
+    compile_expr,
+    compile_to_bdd,
+    parse,
+    ripple_carry_adder_circuit,
+    to_truth_table,
+)
+from repro.functions import adder_bit
+from repro.truth_table import TruthTable
+
+
+class TestCompileExpr:
+    @pytest.mark.parametrize("text", [
+        "x0 & x1",
+        "x0 | ~x1 ^ x2",
+        "(x0 | x1) & (x2 | x3)",
+        "~(x0 & x1) ^ (x2 | ~x3)",
+        "1 & x0 | 0",
+    ])
+    def test_matches_tabulation(self, text):
+        expr = parse(text)
+        n = max(expr.num_vars, 1)
+        manager = BDD(n)
+        root = compile_expr(manager, expr)
+        assert manager.to_truth_table(root) == to_truth_table(expr, n)
+
+    def test_constants(self):
+        manager = BDD(2)
+        assert compile_expr(manager, parse("1")) == manager.true
+        assert compile_expr(manager, parse("0")) == manager.false
+
+    def test_unknown_node_type(self):
+        with pytest.raises(TypeError):
+            compile_expr(BDD(1), object())
+
+
+class TestCompileNormalForms:
+    def test_dnf(self):
+        dnf = DNF.of([[(0, True), (2, False)], [(1, True)]])
+        manager = BDD(3)
+        root = compile_dnf(manager, dnf)
+        assert manager.to_truth_table(root) == to_truth_table(dnf, 3)
+
+    def test_empty_dnf(self):
+        manager = BDD(2)
+        assert compile_dnf(manager, DNF.of([])) == manager.false
+
+    def test_cnf(self):
+        cnf = CNF.of([[(0, True), (1, False)], [(2, True)]])
+        manager = BDD(3)
+        root = compile_cnf(manager, cnf)
+        assert manager.to_truth_table(root) == to_truth_table(cnf, 3)
+
+    def test_empty_cnf(self):
+        manager = BDD(2)
+        assert compile_cnf(manager, CNF.of([])) == manager.true
+
+    def test_dnf_cnf_duality(self):
+        # DNF of f and CNF of f must compile to the same node.
+        manager = BDD(2)
+        dnf = DNF.of([[(0, True), (1, True)]])          # x0 & x1
+        cnf = CNF.of([[(0, True)], [(1, True)]])        # x0 & x1
+        assert compile_dnf(manager, dnf) == compile_cnf(manager, cnf)
+
+
+class TestCompileCircuit:
+    def test_ripple_adder_matches_reference(self):
+        for output in range(4):
+            circuit = ripple_carry_adder_circuit(3, output)
+            manager = BDD(6)
+            root = compile_circuit(manager, circuit)
+            assert manager.to_truth_table(root) == adder_bit(3, output)
+
+    def test_alternate_output_wire(self):
+        circuit = Circuit(inputs=["a", "b"], output="f")
+        circuit.add_gate("and", "f", ["a", "b"])
+        circuit.add_gate("or", "g", ["a", "b"])
+        manager = BDD(2)
+        root = compile_circuit(manager, circuit, output="g")
+        assert manager.to_truth_table(root) == TruthTable.from_callable(
+            2, lambda a, b: a | b
+        )
+
+    def test_wide_gates(self):
+        circuit = Circuit(inputs=["a", "b", "c"], output="f")
+        circuit.add_gate("nand", "f", ["a", "b", "c"])
+        manager = BDD(3)
+        root = compile_circuit(manager, circuit)
+        assert manager.to_truth_table(root) == TruthTable.from_callable(
+            3, lambda a, b, c: 1 - (a & b & c)
+        )
+
+    def test_undriven_output(self):
+        circuit = Circuit(inputs=["a"], output="ghost")
+        with pytest.raises(EvaluationError):
+            compile_circuit(BDD(1), circuit)
+
+    def test_symbolic_avoids_tabulation_blowup(self):
+        # A wide AND: BDD stays linear even though 2^n is large.
+        n = 18
+        circuit = Circuit(inputs=[f"x{i}" for i in range(n)], output="f")
+        circuit.add_gate("and", "f", [f"x{i}" for i in range(n)])
+        manager = BDD(n)
+        root = compile_circuit(manager, circuit)
+        assert manager.size(root, include_terminals=False) == n
+
+
+class TestDispatch:
+    def test_compile_to_bdd_dispatches(self):
+        manager = BDD(2)
+        for source in (
+            parse("x0 & x1"),
+            DNF.of([[(0, True), (1, True)]]),
+            CNF.of([[(0, True)], [(1, True)]]),
+        ):
+            root = compile_to_bdd(manager, source)
+            assert manager.to_truth_table(root) == TruthTable.from_callable(
+                2, lambda a, b: a & b
+            )
+
+    def test_unknown_source(self):
+        with pytest.raises(TypeError):
+            compile_to_bdd(BDD(1), 42)

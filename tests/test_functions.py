@@ -1,0 +1,237 @@
+"""Unit tests for the benchmark function families and generators."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.errors import DimensionError
+from repro.functions import (
+    achilles_bad_order,
+    achilles_bad_size,
+    achilles_good_order,
+    achilles_good_size,
+    achilles_heel,
+    adder_bit,
+    all_k_subsets,
+    cliques_of_random_graph,
+    comparator,
+    conjunction_of_pairs,
+    equality,
+    family_truth_table,
+    hidden_weighted_bit,
+    interval,
+    majority,
+    multiplexer,
+    multiplication_bit,
+    parity,
+    path_independent_sets,
+    path_matchings,
+    random_boolean,
+    random_dnf_function,
+    random_multivalued,
+    random_ordering,
+    random_sparse,
+    sparse_random_family,
+    threshold,
+)
+from repro.truth_table import TruthTable, obdd_size
+
+
+class TestAchilles:
+    @pytest.mark.parametrize("pairs", [1, 2, 3, 4])
+    def test_closed_form_sizes(self, pairs):
+        table = achilles_heel(pairs)
+        assert obdd_size(table, achilles_good_order(pairs)) == achilles_good_size(pairs)
+        assert obdd_size(table, achilles_bad_order(pairs)) == achilles_bad_size(pairs)
+
+    def test_semantics(self):
+        table = achilles_heel(2)
+        assert table(1, 1, 0, 0) == 1
+        assert table(1, 0, 0, 1) == 0
+        assert table(0, 0, 1, 1) == 1
+
+    def test_needs_a_pair(self):
+        with pytest.raises(DimensionError):
+            achilles_heel(0)
+
+    def test_conjunction_of_pairs_generalizes(self):
+        table = conjunction_of_pairs([(0, 1), (2, 3)], 4)
+        assert table == achilles_heel(2)
+
+    def test_conjunction_range_check(self):
+        with pytest.raises(DimensionError):
+            conjunction_of_pairs([(0, 4)], 4)
+
+
+class TestSymmetricFamilies:
+    def test_parity_semantics(self):
+        table = parity(4)
+        for bits in itertools.product((0, 1), repeat=4):
+            assert table(*bits) == sum(bits) % 2
+
+    def test_threshold_counts(self):
+        table = threshold(5, 3)
+        assert table.count_ones() == sum(math.comb(5, k) for k in range(3, 6))
+
+    def test_threshold_extremes(self):
+        assert threshold(4, 0) == TruthTable.constant(4, 1)
+        assert threshold(4, 5) == TruthTable.constant(4, 0)
+
+    def test_threshold_validation(self):
+        with pytest.raises(DimensionError):
+            threshold(3, 5)
+
+    def test_majority_is_threshold(self):
+        assert majority(5) == threshold(5, 3)
+
+    def test_symmetric_functions_ordering_insensitive(self):
+        table = threshold(4, 2)
+        sizes = {obdd_size(table, list(p)) for p in itertools.permutations(range(4))}
+        assert len(sizes) == 1
+
+
+class TestHardFunctions:
+    def test_hwb_semantics(self):
+        table = hidden_weighted_bit(4)
+        assert table(0, 0, 0, 0) == 0  # weight 0 -> 0
+        assert table(1, 0, 0, 0) == 1  # weight 1 -> x_1 (0-indexed var 0)
+        assert table(0, 1, 0, 1) == 1  # weight 2 -> var index 1
+        assert table(1, 0, 1, 0) == 0
+
+    def test_multiplication_middle_bit_semantics(self):
+        bits = 3
+        table = multiplication_bit(bits, bits - 1)
+        for x in range(1 << bits):
+            for y in range(1 << bits):
+                packed = x | (y << bits)
+                assert table.evaluate_packed(packed) == ((x * y) >> (bits - 1)) & 1
+
+    def test_multiplication_is_ordering_hard(self):
+        # Even the best ordering of the 3x3 middle bit is larger than
+        # parity on the same variable count.
+        from repro.core import run_fs
+
+        table = multiplication_bit(3, 2)
+        assert run_fs(table).mincost > run_fs(parity(6)).mincost
+
+    def test_output_range_validation(self):
+        with pytest.raises(DimensionError):
+            multiplication_bit(3, 6)
+
+
+class TestArithmeticFunctions:
+    def test_adder_bit_semantics(self):
+        bits = 3
+        for output in range(bits + 1):
+            table = adder_bit(bits, output)
+            for x in range(1 << bits):
+                for y in range(1 << bits):
+                    packed = x | (y << bits)
+                    assert table.evaluate_packed(packed) == ((x + y) >> output) & 1
+
+    def test_adder_validation(self):
+        with pytest.raises(DimensionError):
+            adder_bit(3, 4)
+
+    def test_comparator_semantics(self):
+        table = comparator(2)
+        for x in range(4):
+            for y in range(4):
+                assert table.evaluate_packed(x | (y << 2)) == int(x < y)
+
+    def test_equality_counts(self):
+        assert equality(3).count_ones() == 8
+
+    def test_interleaving_beats_separation_for_comparator(self):
+        table = comparator(3)
+        separated = list(range(6))
+        interleaved = [0, 3, 1, 4, 2, 5]
+        assert obdd_size(table, interleaved) < obdd_size(table, separated)
+
+    def test_interval(self):
+        table = interval(4, 3, 11)
+        assert table.count_ones() == 9
+        with pytest.raises(DimensionError):
+            interval(3, 5, 2)
+
+
+class TestMultiplexer:
+    def test_semantics(self):
+        table = multiplexer(2)
+        # vars: s0,s1 then d0..d3; data var k+sel selected
+        assert table(0, 0, 1, 0, 0, 0) == 1
+        assert table(1, 0, 0, 1, 0, 0) == 1
+        assert table(0, 1, 0, 0, 1, 0) == 1
+        assert table(1, 1, 0, 0, 0, 1) == 1
+        assert table(1, 1, 1, 1, 1, 0) == 0
+
+    def test_size_guard(self):
+        with pytest.raises(DimensionError):
+            multiplexer(5)
+
+
+class TestRandomGenerators:
+    def test_random_boolean_reproducible(self):
+        assert random_boolean(5, seed=3) == random_boolean(5, seed=3)
+
+    def test_random_sparse_exact_count(self):
+        table = random_sparse(6, 5, seed=1)
+        assert table.count_ones() == 5
+
+    def test_random_sparse_validation(self):
+        with pytest.raises(DimensionError):
+            random_sparse(3, 9, seed=0)
+
+    def test_random_multivalued_range(self):
+        table = random_multivalued(5, 4, seed=2)
+        assert 0 <= table.values.min() and table.values.max() < 4
+
+    def test_random_dnf_is_boolean(self):
+        table = random_dnf_function(6, 4, 3, seed=3)
+        assert table.is_boolean()
+
+    def test_random_ordering_is_permutation(self):
+        order = random_ordering(7, seed=4)
+        assert sorted(order) == list(range(7))
+
+
+class TestSetFamilies:
+    def test_family_truth_table_membership(self):
+        table = family_truth_table(3, [{0, 2}, set()])
+        assert table.evaluate_packed(0b101) == 1
+        assert table.evaluate_packed(0) == 1
+        assert table.evaluate_packed(0b111) == 0
+
+    def test_family_validation(self):
+        with pytest.raises(DimensionError):
+            family_truth_table(2, [{3}])
+
+    def test_all_k_subsets_count(self):
+        assert len(all_k_subsets(6, 3)) == math.comb(6, 3)
+
+    def test_path_independent_sets_fibonacci(self):
+        # |IS(P_n)| = Fib(n+2): 1, 2, 3, 5, 8, 13, ...
+        counts = [len(path_independent_sets(n)) for n in range(7)]
+        assert counts == [1, 2, 3, 5, 8, 13, 21]
+
+    def test_path_independent_sets_valid(self):
+        for s in path_independent_sets(6):
+            assert all(v + 1 not in s for v in s)
+
+    def test_path_matchings_valid(self):
+        for m in path_matchings(6):
+            assert all(e + 1 not in m for e in m)
+
+    def test_cliques_are_cliques(self):
+        fams = cliques_of_random_graph(6, edge_probability=0.5, seed=5)
+        assert set() in fams
+        assert all(len(c) <= 6 for c in fams)
+
+    def test_sparse_random_family_distinct(self):
+        family = sparse_random_family(5, 12, seed=6)
+        assert len({frozenset(s) for s in family}) == 12
+
+    def test_sparse_random_family_validation(self):
+        with pytest.raises(DimensionError):
+            sparse_random_family(2, 5, seed=0)

@@ -1,0 +1,116 @@
+"""Unit tests for graph-derived set families."""
+
+import networkx as nx
+import pytest
+
+from repro.core import ReductionRule, run_fs
+from repro.errors import DimensionError
+from repro.functions import (
+    cliques,
+    family_truth_table,
+    family_zdd,
+    independent_sets,
+    matchings,
+    maximal_independent_sets,
+    vertex_covers,
+)
+
+
+class TestIndependentSets:
+    @pytest.mark.parametrize("n,count", [(1, 2), (2, 3), (3, 5), (4, 8), (5, 13)])
+    def test_path_graph_fibonacci(self, n, count):
+        family, _ = independent_sets(nx.path_graph(n))
+        assert len(family) == count
+
+    def test_cycle_graph_lucas(self):
+        family, _ = independent_sets(nx.cycle_graph(5))
+        assert len(family) == 11
+
+    def test_all_sets_are_independent(self):
+        graph = nx.gnp_random_graph(6, 0.5, seed=1)
+        family, index = independent_sets(graph)
+        rev = {i: v for v, i in index.items()}
+        for s in family:
+            vertices = [rev[i] for i in s]
+            assert not any(
+                graph.has_edge(a, b)
+                for a in vertices for b in vertices if a != b
+            )
+
+    def test_empty_graph_powerset(self):
+        family, _ = independent_sets(nx.empty_graph(4))
+        assert len(family) == 16
+
+    def test_complete_graph_singletons(self):
+        family, _ = independent_sets(nx.complete_graph(4))
+        assert len(family) == 5  # empty set + 4 singletons
+
+
+class TestDualities:
+    def test_vertex_covers_complement_independent_sets(self):
+        graph = nx.cycle_graph(5)
+        covers, index = vertex_covers(graph)
+        rev = {i: v for v, i in index.items()}
+        for cover in covers:
+            for u, v in graph.edges:
+                assert index[u] in cover or index[v] in cover
+
+    def test_matchings_of_path(self):
+        family, _ = matchings(nx.path_graph(4))  # 3 edges
+        assert len(family) == 5
+
+    def test_matchings_are_matchings(self):
+        graph = nx.gnp_random_graph(6, 0.5, seed=2)
+        family, index = matchings(graph)
+        rev = {i: e for e, i in index.items()}
+        for m in family:
+            touched = set()
+            for i in m:
+                u, v = rev[i]
+                assert u not in touched and v not in touched
+                touched |= {u, v}
+
+    def test_cliques_of_complete_graph(self):
+        family, _ = cliques(nx.complete_graph(4))
+        assert len(family) == 16  # every subset is a clique
+
+    def test_cliques_are_cliques(self):
+        graph = nx.gnp_random_graph(6, 0.5, seed=3)
+        family, index = cliques(graph)
+        rev = {i: v for v, i in index.items()}
+        for c in family:
+            vertices = [rev[i] for i in c]
+            assert all(
+                graph.has_edge(a, b)
+                for a in vertices for b in vertices if a != b
+            )
+
+
+class TestZddIntegration:
+    def test_maximal_independent_sets_vs_networkx(self):
+        for seed in range(4):
+            graph = nx.gnp_random_graph(6, 0.5, seed=seed)
+            ours = set(maximal_independent_sets(graph))
+            _, index = independent_sets(graph)
+            reference = {
+                frozenset(index[v] for v in clique)
+                for clique in nx.find_cliques(nx.complement(graph))
+            }
+            assert ours == reference
+
+    def test_family_zdd_counts(self):
+        family, index = independent_sets(nx.path_graph(5))
+        manager, root = family_zdd(family, len(index))
+        assert manager.count(root) == len(family)
+
+    def test_family_zdd_validation(self):
+        with pytest.raises(DimensionError):
+            family_zdd([{5}], 3)
+
+    def test_optimal_zdd_ordering_for_graph_family(self):
+        family, index = independent_sets(nx.cycle_graph(5))
+        table = family_truth_table(len(index), family)
+        result = run_fs(table, rule=ReductionRule.ZDD)
+        manager, root = family_zdd(family, len(index))
+        natural = manager.size(root, include_terminals=False)
+        assert result.mincost <= natural

@@ -1,0 +1,103 @@
+"""Unit tests for BDD-to-netlist synthesis and Verilog export."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ReductionRule,
+    build_diagram,
+    reconstruct_minimum_diagram,
+    run_fs,
+)
+from repro.errors import DimensionError
+from repro.expr import Circuit, to_truth_table
+from repro.io import (
+    circuit_to_verilog,
+    diagram_to_mux_circuit,
+    diagram_to_verilog,
+    mux_cost,
+)
+from repro.truth_table import TruthTable
+
+
+class TestMuxSynthesis:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_netlist_computes_the_function(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(1, 5)
+        table = TruthTable.random(n, seed=seed)
+        diagram = reconstruct_minimum_diagram(table, run_fs(table))
+        circuit = diagram_to_mux_circuit(diagram)
+        assert to_truth_table(circuit, n) == table
+
+    def test_mux_cost_is_internal_node_count(self):
+        table = TruthTable.random(4, seed=10)
+        diagram = build_diagram(table, [0, 1, 2, 3])
+        assert mux_cost(diagram) == diagram.mincost
+
+    def test_optimal_ordering_minimizes_mux_count(self):
+        from repro.functions import achilles_bad_order, achilles_heel
+
+        table = achilles_heel(3)
+        good = build_diagram(table, list(range(6)))
+        bad = build_diagram(table, achilles_bad_order(3))
+        assert mux_cost(good) == 6
+        assert mux_cost(bad) == 14
+
+    def test_constant_diagram(self):
+        diagram = build_diagram(TruthTable.constant(2, 1), [0, 1])
+        circuit = diagram_to_mux_circuit(diagram)
+        assert to_truth_table(circuit, 2) == TruthTable.constant(2, 1)
+
+    def test_only_bdd_rule(self):
+        table = TruthTable.random(3, seed=11)
+        diagram = build_diagram(table, [0, 1, 2], ReductionRule.ZDD)
+        with pytest.raises(DimensionError):
+            diagram_to_mux_circuit(diagram)
+
+
+class TestVerilog:
+    def test_module_structure(self):
+        circuit = Circuit(inputs=["a", "b"], output="y")
+        circuit.add_gate("and", "t", ["a", "b"])
+        circuit.add_gate("not", "y", ["t"])
+        text = circuit_to_verilog(circuit, module_name="nandgate")
+        assert text.startswith("module nandgate (a, b, y);")
+        assert "input a, b;" in text
+        assert "output y;" in text
+        assert "wire t;" in text
+        assert "and g0 (t, a, b);" in text
+        assert "not g1 (y, t);" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_buf_becomes_assign(self):
+        circuit = Circuit(inputs=["a"], output="y")
+        circuit.add_gate("buf", "y", ["a"])
+        assert "assign y = a;" in circuit_to_verilog(circuit)
+
+    def test_name_sanitization(self):
+        circuit = Circuit(inputs=["a.1"], output="out-x")
+        circuit.add_gate("not", "out-x", ["a.1"])
+        text = circuit_to_verilog(circuit)
+        assert "a_1" in text and "out_x" in text
+        assert "." not in text.split("module", 1)[1].split(";")[0]
+
+    def test_one_call_synthesis(self):
+        table = TruthTable.from_callable(3, lambda a, b, c: (a & b) ^ c)
+        diagram = reconstruct_minimum_diagram(table, run_fs(table))
+        text = diagram_to_verilog(diagram)
+        assert text.startswith("module minimum_obdd")
+        # one and-pair + or per mux, sanity on gate count scale
+        assert text.count("and g") >= 2 * diagram.mincost
+
+    def test_gate_count_tracks_nodes(self):
+        # Each node contributes exactly 2 ANDs + 1 OR; inverters and rails
+        # are shared.
+        table = TruthTable.random(4, seed=12)
+        diagram = reconstruct_minimum_diagram(table, run_fs(table))
+        circuit = diagram_to_mux_circuit(diagram)
+        ands = sum(1 for g in circuit.gates if g.kind == "and")
+        ors = sum(1 for g in circuit.gates if g.kind == "or")
+        assert ands == 2 * diagram.mincost + 1  # + const0 rail
+        assert ors == diagram.mincost + 1       # + const1 rail

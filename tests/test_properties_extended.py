@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) for the extension subsystems:
+in-place swaps, complement edges, shared forests, windows, A*, symmetric
+closed forms, and the statevector layer."""
+
+import math
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.symmetric import (
+    symmetric_from_value_vector,
+    symmetric_profile,
+)
+from repro.bdd import ReorderingBDD
+from repro.bdd.cbdd import CBDD, cbdd_size, negate
+from repro.core import exact_window, run_fs, run_fs_shared
+from repro.core.astar import astar_optimal_ordering
+from repro.core.shared import brute_force_shared, build_forest, count_shared_subfunctions
+from repro.quantum import success_probability
+from repro.quantum.statevector import grover_iterate, uniform_state
+from repro.truth_table import TruthTable, count_subfunctions, obdd_size
+
+small_tables = st.integers(1, 4).flatmap(
+    lambda n: st.lists(
+        st.integers(0, 1), min_size=1 << n, max_size=1 << n
+    ).map(lambda values: TruthTable(n, values))
+)
+
+table_pairs = st.integers(1, 3).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 1), min_size=1 << n, max_size=1 << n),
+        st.lists(st.integers(0, 1), min_size=1 << n, max_size=1 << n),
+    ).map(lambda vv: (TruthTable(n, vv[0]), TruthTable(n, vv[1])))
+)
+
+common = settings(
+    max_examples=50, deadline=None, derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# ----------------------------------------------------------------------
+# in-place swaps
+# ----------------------------------------------------------------------
+@given(small_tables, st.data())
+@common
+def test_swap_preserves_function_and_matches_oracle(tt, data):
+    if tt.n < 2:
+        return
+    m = ReorderingBDD(tt.n)
+    root = m.from_truth_table(tt)
+    for _ in range(4):
+        level = data.draw(st.integers(0, tt.n - 2))
+        m.swap(level)
+    m.collect()
+    assert m.to_truth_table(root) == tt
+    assert m.size() == obdd_size(tt, m.order)
+
+
+@given(small_tables, st.data())
+@common
+def test_reorder_to_any_permutation(tt, data):
+    target = data.draw(st.permutations(list(range(tt.n))))
+    m = ReorderingBDD(tt.n)
+    root = m.from_truth_table(tt)
+    m.reorder_to(list(target))
+    assert m.to_truth_table(root) == tt
+    assert m.size() == obdd_size(tt, list(target))
+
+
+# ----------------------------------------------------------------------
+# complement edges
+# ----------------------------------------------------------------------
+@given(small_tables)
+@common
+def test_cbdd_roundtrip_and_free_negation(tt):
+    m = CBDD(tt.n)
+    root = m.from_truth_table(tt)
+    assert m.to_truth_table(root) == tt
+    assert m.from_truth_table(~tt) == negate(root)
+    assert m.satcount(root) == tt.count_ones()
+
+
+@given(small_tables, st.data())
+@common
+def test_cbdd_never_bigger_than_plain(tt, data):
+    order = data.draw(st.permutations(list(range(tt.n))))
+    assert cbdd_size(tt, list(order), include_terminals=False) <= obdd_size(
+        tt, list(order), include_terminals=False
+    )
+
+
+# ----------------------------------------------------------------------
+# shared forests
+# ----------------------------------------------------------------------
+@given(table_pairs)
+@common
+def test_shared_optimum_matches_bruteforce(pair):
+    f, g = pair
+    assert run_fs_shared([f, g]).mincost == brute_force_shared([f, g])[1]
+
+
+@given(table_pairs, st.data())
+@common
+def test_forest_roundtrip_and_oracle(pair, data):
+    f, g = pair
+    order = data.draw(st.permutations(list(range(f.n))))
+    forest = build_forest([f, g], list(order))
+    assert forest.to_truth_tables() == [f, g]
+    assert forest.mincost == sum(count_shared_subfunctions([f, g], list(order)))
+
+
+@given(table_pairs)
+@common
+def test_shared_bounds(pair):
+    f, g = pair
+    shared = run_fs_shared([f, g]).mincost
+    assert shared <= run_fs(f).mincost + run_fs(g).mincost
+    assert shared >= max(run_fs(f).mincost, run_fs(g).mincost)
+
+
+# ----------------------------------------------------------------------
+# windows and A*
+# ----------------------------------------------------------------------
+@given(small_tables, st.data())
+@common
+def test_exact_window_never_regresses_and_fixes_outside(tt, data):
+    if tt.n < 2:
+        return
+    order = list(data.draw(st.permutations(list(range(tt.n)))))
+    width = data.draw(st.integers(2, tt.n))
+    start = data.draw(st.integers(0, tt.n - width))
+    before = sum(count_subfunctions(tt, order))
+    result = exact_window(tt, order, start, width)
+    assert result.size <= before
+    assert list(result.order[:start]) == order[:start]
+    assert list(result.order[start + width:]) == order[start + width:]
+
+
+@given(small_tables)
+@common
+def test_astar_equals_fs(tt):
+    assert astar_optimal_ordering(tt).mincost == run_fs(tt).mincost
+
+
+# ----------------------------------------------------------------------
+# symmetric closed form
+# ----------------------------------------------------------------------
+@given(st.integers(1, 6).flatmap(
+    lambda n: st.lists(st.integers(0, 1), min_size=n + 1, max_size=n + 1)
+    .map(lambda vec: (n, vec))
+))
+@common
+def test_symmetric_profile_matches_generic_oracle(n_vec):
+    n, vec = n_vec
+    table = symmetric_from_value_vector(n, vec)
+    assert symmetric_profile(n, vec) == count_subfunctions(
+        table, list(range(n))
+    )
+
+
+# ----------------------------------------------------------------------
+# statevector layer
+# ----------------------------------------------------------------------
+@given(
+    st.integers(2, 64),
+    st.data(),
+)
+@common
+def test_grover_iteration_preserves_norm_and_formula(num_items, data):
+    num_marked = data.draw(st.integers(0, num_items))
+    marked = list(range(num_marked))
+    state = uniform_state(num_items)
+    for j in range(1, 4):
+        state = grover_iterate(state, marked)
+        norm = float(np.vdot(state, state).real)
+        assert math.isclose(norm, 1.0, abs_tol=1e-9)
+        measured = float(sum(abs(state[i]) ** 2 for i in marked))
+        assert math.isclose(
+            measured, success_probability(num_items, num_marked, j),
+            abs_tol=1e-9,
+        )

@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis), third wave: influence, synthesis,
+sensitivity, certificates, and the extended ZDD algebra."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.influence import influence_order, influences, total_influence
+from repro.analysis.sensitivity import ordering_sensitivity
+from repro.analysis.symmetry import symmetry_classes
+from repro.bdd import BDD, ZDD
+from repro.core import run_fs
+from repro.core.certificate import extract_certificate, verify_achievability
+from repro.core.reconstruct import reconstruct_minimum_diagram
+from repro.expr import to_truth_table
+from repro.io.synthesis import diagram_to_mux_circuit
+from repro.truth_table import TruthTable, count_subfunctions
+
+small_tables = st.integers(1, 4).flatmap(
+    lambda n: st.lists(
+        st.integers(0, 1), min_size=1 << n, max_size=1 << n
+    ).map(lambda values: TruthTable(n, values))
+)
+
+families = st.integers(1, 4).flatmap(
+    lambda n: st.lists(
+        st.sets(st.integers(0, n - 1)), min_size=0, max_size=6
+    ).map(lambda fam: (n, [set(s) for s in fam]))
+)
+
+common = settings(
+    max_examples=40, deadline=None, derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# ----------------------------------------------------------------------
+# influence
+# ----------------------------------------------------------------------
+@given(small_tables)
+@common
+def test_influence_zero_iff_dead(tt):
+    values = influences(tt)
+    support = set(tt.support())
+    for var, value in enumerate(values):
+        assert (value == 0.0) == (var not in support)
+
+
+@given(small_tables)
+@common
+def test_influence_invariant_under_negation(tt):
+    assert influences(tt) == influences(~tt)
+
+
+@given(small_tables)
+@common
+def test_total_influence_at_most_n(tt):
+    assert 0.0 <= total_influence(tt) <= tt.n
+
+
+@given(small_tables)
+@common
+def test_influence_order_is_permutation_and_valid(tt):
+    order = influence_order(tt)
+    assert sorted(order) == list(range(tt.n))
+    cost = sum(count_subfunctions(tt, order))
+    assert cost >= run_fs(tt).mincost
+
+
+# ----------------------------------------------------------------------
+# synthesis
+# ----------------------------------------------------------------------
+@given(small_tables)
+@common
+def test_synthesized_netlist_equals_function(tt):
+    diagram = reconstruct_minimum_diagram(tt, run_fs(tt))
+    circuit = diagram_to_mux_circuit(diagram)
+    assert to_truth_table(circuit, tt.n) == tt
+
+
+# ----------------------------------------------------------------------
+# sensitivity + symmetry interplay
+# ----------------------------------------------------------------------
+@given(small_tables)
+@common
+def test_sensitivity_minimum_is_fs_optimum(tt):
+    report = ordering_sensitivity(tt)
+    assert report.minimum == run_fs(tt).mincost
+    assert report.minimum <= report.median <= report.maximum
+
+
+@given(small_tables)
+@common
+def test_single_symmetry_class_implies_insensitive(tt):
+    classes = symmetry_classes(tt)
+    if len(classes) == 1:
+        assert ordering_sensitivity(tt).spread == 1.0
+
+
+# ----------------------------------------------------------------------
+# certificates
+# ----------------------------------------------------------------------
+@given(small_tables)
+@common
+def test_certificates_always_achievable(tt):
+    certificate = extract_certificate(run_fs(tt))
+    assert verify_achievability(tt, certificate)
+
+
+# ----------------------------------------------------------------------
+# extended ZDD algebra
+# ----------------------------------------------------------------------
+@given(families)
+@common
+def test_maximal_is_idempotent_antichain(pair):
+    n, family = pair
+    manager = ZDD(n)
+    root = manager.from_sets(family)
+    maximal = manager.maximal(root)
+    assert manager.maximal(maximal) == maximal
+    members = list(manager.iter_sets(maximal))
+    assert not any(a < b for a in members for b in members)
+
+
+@given(families)
+@common
+def test_minimal_maximal_bracket_family(pair):
+    n, family = pair
+    manager = ZDD(n)
+    root = manager.from_sets(family)
+    assert manager.count(manager.maximal(root)) <= manager.count(root)
+    assert manager.count(manager.minimal(root)) <= manager.count(root)
+    # union of extremes is contained in the family
+    extremes = manager.union(manager.maximal(root), manager.minimal(root))
+    assert manager.difference(extremes, root) == manager.empty
+
+
+@given(families, families)
+@common
+def test_nonsubsets_nonsupersets_partition_style(pair_a, pair_b):
+    n = max(pair_a[0], pair_b[0])
+    manager = ZDD(n)
+    a = manager.from_sets(pair_a[1])
+    b = manager.from_sets(pair_b[1])
+    nonsub = set(manager.iter_sets(manager.nonsubsets(a, b)))
+    nonsup = set(manager.iter_sets(manager.nonsupersets(a, b)))
+    fam_a = set(manager.iter_sets(a))
+    fam_b = set(manager.iter_sets(b))
+    assert nonsub == {s for s in fam_a if not any(s <= t for t in fam_b)}
+    assert nonsup == {s for s in fam_a if not any(t <= s for t in fam_b)}
+
+
+# ----------------------------------------------------------------------
+# manager shortest path
+# ----------------------------------------------------------------------
+@given(small_tables)
+@common
+def test_shortest_sat_minimal_weight(tt):
+    manager = BDD(tt.n)
+    root = manager.from_truth_table(tt)
+    assignment = manager.shortest_sat(root)
+    if tt.count_ones() == 0:
+        assert assignment is None
+    else:
+        assert tt(*assignment) == 1
+        assert sum(assignment) == min(
+            bin(a).count("1") for a in tt.ones()
+        )

@@ -1,0 +1,171 @@
+"""Unit tests for the simulated quantum substrate."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.counters import OperationCounters
+from repro.quantum import (
+    ClassicalMinimumFinder,
+    QuantumMinimumFinder,
+    QueryLedger,
+    bbht_expected_queries,
+    durr_hoyer,
+    durr_hoyer_expected_queries,
+    lemma6_query_bound,
+    optimal_iterations,
+    success_probability,
+)
+
+
+class TestGroverFormulas:
+    def test_no_marked_items(self):
+        assert success_probability(16, 0, 5) == 0.0
+
+    def test_all_marked(self):
+        assert success_probability(16, 16, 0) == 1.0
+
+    def test_zero_iterations_is_uniform(self):
+        assert success_probability(100, 7, 0) == pytest.approx(7 / 100)
+
+    def test_optimal_iterations_boost(self):
+        n, t = 1024, 1
+        j = optimal_iterations(n, t)
+        assert success_probability(n, t, j) > 0.99
+        assert j == pytest.approx(math.pi / 4 * math.sqrt(n), rel=0.1)
+
+    def test_optimal_iterations_single_query_when_half_marked(self):
+        assert optimal_iterations(4, 1) == 1  # the famous exact case
+        assert success_probability(4, 1, 1) == pytest.approx(1.0)
+
+    def test_iteration_count_validation(self):
+        with pytest.raises(ValueError):
+            optimal_iterations(8, 0)
+        with pytest.raises(ValueError):
+            success_probability(0, 0, 1)
+        with pytest.raises(ValueError):
+            success_probability(4, 5, 1)
+
+    def test_bbht_shape(self):
+        assert bbht_expected_queries(100, 4) == pytest.approx(4.5 * 5.0)
+        assert bbht_expected_queries(100, 0) == math.inf
+
+    def test_dh_shape(self):
+        assert durr_hoyer_expected_queries(64) == pytest.approx(22.5 * 8)
+
+
+class TestLedger:
+    def test_charge_accumulates(self):
+        ledger = QueryLedger()
+        ledger.charge(10, phase="a")
+        ledger.charge(5, phase="b")
+        ledger.charge(2.5, phase="a")
+        assert ledger.total == 17.5
+        assert ledger.by_phase == {"a": 12.5, "b": 5.0}
+        assert ledger.invocations == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            QueryLedger().charge(-1)
+
+    def test_lemma6_charge(self):
+        ledger = QueryLedger()
+        amount = ledger.charge_minimum_finding(100, 1e-6)
+        assert amount == math.ceil(lemma6_query_bound(100, 1e-6))
+        assert ledger.total == amount
+
+    def test_lemma6_bound_shape(self):
+        # sqrt(N) scaling at fixed epsilon; sqrt(log 1/eps) at fixed N.
+        assert lemma6_query_bound(400, 0.1) == pytest.approx(
+            2 * lemma6_query_bound(100, 0.1)
+        )
+        assert lemma6_query_bound(100, 0.1 ** 4) == pytest.approx(
+            2 * lemma6_query_bound(100, 0.1)
+        )
+
+    def test_snapshot(self):
+        ledger = QueryLedger()
+        ledger.charge(3, phase="x")
+        snap = ledger.snapshot()
+        assert snap["total"] == 3 and snap["phase:x"] == 3
+
+
+class TestDurrHoyer:
+    def test_single_element(self):
+        out = durr_hoyer([42], rng=random.Random(0))
+        assert out.index == 0 and out.succeeded
+
+    def test_finds_unique_minimum_whp(self):
+        rnd = random.Random(1)
+        values = [rnd.randint(10, 100) for _ in range(50)]
+        values[17] = 1
+        hits = sum(
+            durr_hoyer(values, rng=random.Random(t), epsilon=0.01).index == 17
+            for t in range(50)
+        )
+        assert hits >= 47
+
+    def test_accepts_tied_minima(self):
+        values = [5, 1, 3, 1]
+        out = durr_hoyer(values, rng=random.Random(2), epsilon=0.01)
+        assert values[out.index] == 1
+
+    def test_query_count_positive_and_bounded(self):
+        values = list(range(64))
+        out = durr_hoyer(values, rng=random.Random(3), epsilon=0.1)
+        repetitions = math.ceil(math.log2(10))
+        assert 0 < out.queries <= repetitions * (22.5 * 8 + 8 + 1) + repetitions
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            durr_hoyer([])
+
+    def test_error_rate_within_epsilon_budget(self):
+        # Adversarial-ish: many near-minima. Failure rate must be well
+        # under the configured epsilon=0.25 across trials.
+        values = [2] * 63 + [1]
+        failures = sum(
+            not durr_hoyer(values, rng=random.Random(t), epsilon=0.25).succeeded
+            for t in range(200)
+        )
+        assert failures / 200 <= 0.25
+
+
+class TestFinders:
+    def test_classical_exact(self):
+        finder = ClassicalMinimumFinder()
+        out = finder.find(10, lambda i: (i - 7) ** 2)
+        assert out.index == 7 and out.exact and out.queries == 0
+
+    def test_classical_counts_evaluations(self):
+        counters = OperationCounters()
+        ClassicalMinimumFinder(counters).find(12, lambda i: i)
+        assert counters.classical_evaluations == 12
+
+    def test_classical_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClassicalMinimumFinder().find(0, lambda i: i)
+
+    def test_quantum_exact_mode(self):
+        ledger = QueryLedger()
+        finder = QuantumMinimumFinder(ledger=ledger, epsilon=1e-6,
+                                      rng=random.Random(0))
+        out = finder.find(100, lambda i: abs(i - 31))
+        assert out.index == 31 and out.exact
+        assert out.queries == math.ceil(lemma6_query_bound(100, 1e-6))
+        assert ledger.total == out.queries
+
+    def test_quantum_sampled_mode(self):
+        finder = QuantumMinimumFinder(epsilon=0.01, mode="sampled",
+                                      rng=random.Random(4))
+        out = finder.find(32, lambda i: i)
+        assert not out.exact
+        assert 0 <= out.index < 32
+        assert out.queries > 0
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            QuantumMinimumFinder(mode="teleport")
+        with pytest.raises(ValueError):
+            QuantumMinimumFinder(epsilon=0.0)

@@ -1,0 +1,107 @@
+"""Golden regression corpus: certified optimal sizes for named functions.
+
+These values were computed by the validated DP (which the rest of the
+suite cross-checks against brute force, the A* search, and independent
+managers) and are now pinned: any future change to the compaction kernel,
+the DP, or a function generator that shifts an optimum will trip exactly
+the affected row.
+"""
+
+import pytest
+
+from repro.core import ReductionRule, run_fs
+from repro.functions import (
+    achilles_heel,
+    adder_bit,
+    comparator,
+    equality,
+    hidden_weighted_bit,
+    interval,
+    majority,
+    multiplexer,
+    multiplication_bit,
+    parity,
+    threshold,
+)
+
+FUNCTIONS = {
+    "achilles(1)": lambda: achilles_heel(1),
+    "achilles(2)": lambda: achilles_heel(2),
+    "achilles(3)": lambda: achilles_heel(3),
+    "achilles(4)": lambda: achilles_heel(4),
+    "parity(3)": lambda: parity(3),
+    "parity(6)": lambda: parity(6),
+    "majority(5)": lambda: majority(5),
+    "majority(7)": lambda: majority(7),
+    "threshold(6,2)": lambda: threshold(6, 2),
+    "threshold(6,4)": lambda: threshold(6, 4),
+    "hwb(4)": lambda: hidden_weighted_bit(4),
+    "hwb(5)": lambda: hidden_weighted_bit(5),
+    "hwb(6)": lambda: hidden_weighted_bit(6),
+    "hwb(7)": lambda: hidden_weighted_bit(7),
+    "mux(2)": lambda: multiplexer(2),
+    "adder(3,0)": lambda: adder_bit(3, 0),
+    "adder(3,1)": lambda: adder_bit(3, 1),
+    "adder(3,2)": lambda: adder_bit(3, 2),
+    "adder(3,3)": lambda: adder_bit(3, 3),
+    "comparator(2)": lambda: comparator(2),
+    "comparator(3)": lambda: comparator(3),
+    "equality(3)": lambda: equality(3),
+    "mult(2,1)": lambda: multiplication_bit(2, 1),
+    "mult(3,2)": lambda: multiplication_bit(3, 2),
+    "interval(4,3,11)": lambda: interval(4, 3, 11),
+}
+
+# (name, optimal BDD, optimal ZDD, optimal CBDD) — internal nodes.
+GOLDEN = [
+    ("achilles(1)", 2, 2, 2),
+    ("achilles(2)", 4, 7, 4),
+    ("achilles(3)", 6, 12, 6),
+    ("achilles(4)", 8, 17, 8),
+    ("parity(3)", 5, 4, 3),
+    ("parity(6)", 11, 10, 6),
+    ("majority(5)", 9, 11, 9),
+    ("majority(7)", 16, 19, 16),
+    ("threshold(6,2)", 10, 14, 10),
+    ("threshold(6,4)", 12, 14, 12),
+    ("hwb(4)", 7, 8, 7),
+    ("hwb(5)", 14, 13, 12),
+    ("hwb(6)", 21, 21, 18),
+    ("hwb(7)", 31, 32, 28),
+    ("mux(2)", 7, 13, 7),
+    ("adder(3,0)", 3, 6, 2),
+    ("adder(3,1)", 6, 8, 4),
+    ("adder(3,2)", 9, 11, 7),
+    ("adder(3,3)", 8, 12, 8),
+    ("comparator(2)", 5, 5, 5),
+    ("comparator(3)", 8, 9, 8),
+    ("equality(3)", 9, 6, 8),
+    ("mult(2,1)", 6, 7, 4),
+    ("mult(3,2)", 12, 14, 8),
+    ("interval(4,3,11)", 5, 6, 4),
+]
+
+
+@pytest.mark.parametrize("name,bdd,zdd,cbdd", GOLDEN,
+                         ids=[row[0] for row in GOLDEN])
+def test_golden_optima(name, bdd, zdd, cbdd):
+    table = FUNCTIONS[name]()
+    assert run_fs(table).mincost == bdd
+    assert run_fs(table, rule=ReductionRule.ZDD).mincost == zdd
+    assert run_fs(table, rule=ReductionRule.CBDD).mincost == cbdd
+
+
+def test_corpus_structural_relations():
+    """Cross-row facts the corpus must keep honoring."""
+    by_name = {name: (b, z, c) for name, b, z, c in GOLDEN}
+    # complement edges never lose to plain BDDs
+    for name, (b, _, c) in by_name.items():
+        assert c <= b, name
+    # achilles grows linearly: +2 internal nodes per pair
+    assert [by_name[f"achilles({p})"][0] for p in (1, 2, 3, 4)] == [2, 4, 6, 8]
+    # parity: 2n-1 plain, n complement-edge
+    assert by_name["parity(6)"][0] == 11 and by_name["parity(6)"][2] == 6
+    # hwb grows super-linearly (the hard-function signal at small n)
+    hwb = [by_name[f"hwb({n})"][0] for n in (4, 5, 6, 7)]
+    assert all(b > a for a, b in zip(hwb, hwb[1:]))
+    assert hwb[3] - hwb[2] > hwb[1] - hwb[0]
