@@ -4,10 +4,14 @@ Measured: exact table-cell counts of the instrumented FS run per n,
 fitted growth base (should be ~3 within the polynomial envelope), the
 closed-form model, and the brute-force comparison with its crossover.
 Also the engine ablation (vectorized numpy kernel vs the per-cell Python
-transcription) from DESIGN.md's design-choices list.
+transcription) from DESIGN.md's design-choices list, and the profiled
+wall-clock/memory trajectory of the execution engine, recorded to
+``BENCH_fs_profile.json`` next to this file.
 """
 
+import json
 import math
+import pathlib
 
 import pytest
 
@@ -21,6 +25,7 @@ from repro.analysis.complexity import (
     trivial_bound,
 )
 from repro.core import brute_force_optimal, run_fs
+from repro.observability import Profiler
 from repro.truth_table import TruthTable
 
 SWEEP_NS = [4, 5, 6, 7, 8, 9, 10]
@@ -110,3 +115,44 @@ def test_fs_wallclock_n10(benchmark):
     table = TruthTable.random(10, seed=10)
     result = benchmark.pedantic(lambda: run_fs(table), rounds=1, iterations=1)
     assert result.counters.table_cells == fs_table_cells(10)
+
+
+def test_fs_profile_trajectory(benchmark):
+    """Record the engine's per-layer wall-clock/memory trajectory.
+
+    Emits ``BENCH_fs_profile.json`` (gitignored; EXPERIMENTS.md records a
+    reference run) so regressions in layer wall-clock or peak frontier
+    bytes are visible run over run, alongside the usual counter laws.
+    """
+    n = 10
+    table = TruthTable.random(n, seed=n)
+    profiler = Profiler()
+    result = benchmark.pedantic(
+        lambda: run_fs(table, profiler=profiler), rounds=1, iterations=1
+    )
+    assert result.counters.table_cells == fs_table_cells(n)
+    assert [layer.k for layer in profiler.layers] == list(range(1, n + 1))
+    assert [layer.subsets for layer in profiler.layers] == [
+        math.comb(n, k) for k in range(1, n + 1)
+    ]
+    # The frontier waist sits at k = n/2 (C(n,k) states of 2^(n-k) cells).
+    peaks = [layer.frontier_bytes for layer in profiler.layers]
+    assert profiler.peak_frontier_bytes == max(peaks)
+
+    out_path = pathlib.Path(__file__).parent / "BENCH_fs_profile.json"
+    profiler.meta["benchmark"] = "fs_profile_trajectory"
+    profiler.write(str(out_path))
+    with open(out_path) as handle:
+        recorded = json.load(handle)
+    assert recorded["layers"][-1]["counters"]["table_cells"] == fs_table_cells(n)
+
+    print_table(
+        "Execution-engine trajectory (n=10, numpy kernel)",
+        ["k", "subsets", "wall s", "frontier bytes"],
+        [
+            (layer.k, layer.subsets, f"{layer.wall_seconds:.4f}",
+             layer.frontier_bytes)
+            for layer in profiler.layers
+        ],
+    )
+    print(f"peak frontier bytes: {profiler.peak_frontier_bytes}")

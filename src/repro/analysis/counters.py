@@ -43,8 +43,39 @@ class OperationCounters:
     def add_extra(self, key: str, amount: int = 1) -> None:
         self.extra[key] = self.extra.get(key, 0) + amount
 
+    def copy(self) -> "OperationCounters":
+        """Independent copy (for before/after deltas in profiling)."""
+        fresh = OperationCounters(
+            table_cells=self.table_cells,
+            compactions=self.compactions,
+            nodes_created=self.nodes_created,
+            subsets_processed=self.subsets_processed,
+            oracle_queries=self.oracle_queries,
+            classical_evaluations=self.classical_evaluations,
+            extra=dict(self.extra),
+        )
+        return fresh
+
+    def diff(self, earlier: "OperationCounters") -> Dict[str, int]:
+        """Per-key delta ``self - earlier`` (non-zero entries only).
+
+        The execution engine's profiler records cumulative snapshots;
+        this derives a single layer's contribution from two of them.
+        """
+        now = self.snapshot()
+        then = earlier.snapshot()
+        return {
+            key: now[key] - then.get(key, 0)
+            for key in now
+            if now[key] - then.get(key, 0)
+        }
+
     def merge(self, other: "OperationCounters") -> None:
-        """Accumulate ``other`` into ``self``."""
+        """Accumulate ``other`` into ``self``.
+
+        The execution engine gives each worker thread its own counters
+        and merges them in deterministic chunk order, which is why
+        parallel runs tally identically to sequential ones."""
         self.table_cells += other.table_cells
         self.compactions += other.compactions
         self.nodes_created += other.nodes_created

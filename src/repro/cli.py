@@ -26,7 +26,9 @@ from .bdd.reorder import greedy_append, random_restart_search, sift, window_perm
 from .core.astar import astar_optimal_ordering
 from .core.bruteforce import brute_force_optimal
 from .core.divide_conquer import opt_obdd
+from .core.engine import available_kernels
 from .core.fs import run_fs
+from .observability import Profiler
 from .core.reconstruct import reconstruct_minimum_diagram
 from .core.spec import ReductionRule
 from .errors import ReproError
@@ -60,6 +62,21 @@ def _load_table(args: argparse.Namespace) -> TruthTable:
         return to_truth_table(CNF.from_dimacs(handle.read()), args.num_vars)
 
 
+def _make_profiler(args: argparse.Namespace) -> Optional[Profiler]:
+    if getattr(args, "profile", None):
+        return Profiler()
+    return None
+
+
+def _emit_profile(args: argparse.Namespace, profiler: Optional[Profiler]) -> None:
+    if profiler is not None:
+        profiler.write(args.profile)
+        print(f"wrote profile    : {args.profile} "
+              f"(peak frontier {profiler.peak_frontier_bytes} bytes, "
+              f"{profiler.total_layer_seconds:.3f}s in {len(profiler.layers)} "
+              f"layers)")
+
+
 def _run_optimize(args: argparse.Namespace) -> int:
     if args.all_outputs:
         return _run_optimize_shared(args)
@@ -69,9 +86,11 @@ def _run_optimize(args: argparse.Namespace) -> int:
         raise ReproError(
             f"{table.n} variables is beyond the exact DP's practical range"
         )
+    profiler = _make_profiler(args)
 
     if args.algorithm == "fs":
-        result = run_fs(table, rule=rule)
+        result = run_fs(table, rule=rule, engine=args.engine, jobs=args.jobs,
+                        profiler=profiler)
     elif args.algorithm == "astar":
         result = astar_optimal_ordering(table, rule=rule)
     elif args.algorithm == "optobdd":
@@ -90,8 +109,12 @@ def _run_optimize(args: argparse.Namespace) -> int:
     natural = list(range(table.n))
     if rule is ReductionRule.BDD:
         print(f"natural ordering : {obdd_size(table, natural)} total nodes")
+    _emit_profile(args, profiler)
     if args.dot or args.json:
-        fs_result = result if args.algorithm == "fs" else run_fs(table, rule=rule)
+        fs_result = (
+            result if args.algorithm == "fs"
+            else run_fs(table, rule=rule, engine=args.engine, jobs=args.jobs)
+        )
         diagram = reconstruct_minimum_diagram(table, fs_result)
         if args.dot:
             with open(args.dot, "w") as handle:
@@ -122,14 +145,20 @@ def _run_optimize_shared(args: argparse.Namespace) -> int:
         raise ReproError(
             f"{tables[0].n} variables is beyond the exact DP's practical range"
         )
-    result = run_fs_shared(tables, rule=rule)
+    profiler = _make_profiler(args)
+    result = run_fs_shared(tables, rule=rule, engine=args.engine,
+                           jobs=args.jobs, profiler=profiler)
     print(f"outputs          : {len(tables)} ({' '.join(labels)})")
     print(f"variables        : {tables[0].n}")
     print(f"rule             : {rule.value}")
     print(f"shared ordering  : {' '.join(f'x{v}' for v in result.order)}")
     print(f"shared nodes     : {result.mincost}")
-    separate = sum(_run_fs(t, rule=rule).mincost for t in tables)
+    separate = sum(
+        _run_fs(t, rule=rule, engine=args.engine, jobs=args.jobs).mincost
+        for t in tables
+    )
     print(f"separate optima  : {separate} (sum over outputs)")
+    _emit_profile(args, profiler)
     return 0
 
 
@@ -158,14 +187,14 @@ def _run_gap(args: argparse.Namespace) -> int:
         table = achilles_heel(pairs)
         good = obdd_size(table, achilles_good_order(pairs))
         bad = obdd_size(table, achilles_bad_order(pairs))
-        optimal = run_fs(table).size
+        optimal = run_fs(table, engine=args.engine, jobs=args.jobs).size
         print(f"{pairs:5d}  {2 * pairs:4d}  {good:10d}  {bad:12d}  {optimal:7d}")
     return 0
 
 
 def _run_heuristics(args: argparse.Namespace) -> int:
     table = _load_table(args)
-    exact = run_fs(table)
+    exact = run_fs(table, engine=args.engine, jobs=args.jobs)
     rows = [
         ("exact (FS)", exact.size, " ".join(f"x{v}" for v in exact.order)),
     ]
@@ -199,8 +228,29 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--num-vars", type=int, default=None,
                        help="widen the variable domain (expr/dimacs)")
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    def add_engine_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--engine", choices=available_kernels(),
+                       default="numpy",
+                       help="compaction kernel for the FS-family dynamic "
+                            "programs: 'numpy' is the vectorized default, "
+                            "'python' the per-cell executable specification "
+                            "(exponentially slower; for validation). Plugins "
+                            "registered via repro.core.engine.register_kernel "
+                            "appear here automatically")
+        p.add_argument("--jobs", type=positive_int, default=1,
+                       help="worker threads per DP layer (subsets of equal "
+                            "size are independent); results and operation "
+                            "counters are identical for every value")
+
     opt = sub.add_parser("optimize", help="find an optimal variable ordering")
     add_input_options(opt)
+    add_engine_options(opt)
     opt.add_argument("--rule", choices=[r.value for r in ReductionRule],
                      default="bdd")
     opt.add_argument("--algorithm",
@@ -208,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
                      default="fs")
     opt.add_argument("--dot", help="write the minimum diagram as DOT")
     opt.add_argument("--json", help="write the minimum diagram as JSON")
+    opt.add_argument("--profile",
+                     help="write a JSON execution profile (per-layer "
+                          "wall-clock, frontier bytes, counter snapshots) "
+                          "of the FS dynamic program to this path")
     opt.add_argument("--all-outputs", action="store_true",
                      help="optimize one shared ordering for every output "
                           "of a multi-output BLIF/PLA")
@@ -218,11 +272,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     gap = sub.add_parser("gap", help="print the Figure 1 ordering-gap series")
     gap.add_argument("--max-pairs", type=int, default=7)
+    add_engine_options(gap)
     gap.set_defaults(handler=_run_gap)
 
     heur = sub.add_parser("heuristics",
                           help="compare heuristics against the exact optimum")
     add_input_options(heur)
+    add_engine_options(heur)
     heur.set_defaults(handler=_run_heuristics)
 
     rep = sub.add_parser("reproduce",
@@ -241,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     cert = sub.add_parser("certify",
                           help="emit or verify an optimality certificate")
     add_input_options(cert)
+    add_engine_options(cert)
     cert.add_argument("--out", help="write the certificate JSON here")
     cert.add_argument("--check", help="verify a certificate JSON file")
     cert.set_defaults(handler=_run_certify)
@@ -287,7 +344,9 @@ def _run_certify(args: argparse.Namespace) -> int:
         return 0 if valid else 1
     if table.n > 12:
         raise ReproError("certificate extraction needs the full DP (n <= 12)")
-    certificate = extract_certificate(run_fs(table))
+    certificate = extract_certificate(
+        run_fs(table, engine=args.engine, jobs=args.jobs)
+    )
     print(f"optimal ordering : {' '.join(f'x{v}' for v in certificate.order)}")
     print(f"certified optimum: {certificate.mincost} internal nodes")
     if args.out:

@@ -35,6 +35,15 @@ from .composed import (
     make_composed_solver,
     opt_obdd_composed,
 )
+from .engine import (
+    EngineConfig,
+    FrontierPolicy,
+    SweepOutcome,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    run_layered_sweep,
+)
 from .divide_conquer import (
     OptOBDDResult,
     SplitCheck,
@@ -87,6 +96,13 @@ __all__ = [
     "terminal_values",
     "compact",
     "compact_python",
+    "EngineConfig",
+    "FrontierPolicy",
+    "SweepOutcome",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+    "run_layered_sweep",
     "run_fs_star",
     "fs_star_levels",
     "make_fs_star_solver",

@@ -6,12 +6,15 @@ assignment ``b`` to the remaining variables, the two parent cells
 ``TABLE_I[b, x_i=0]`` and ``TABLE_I[b, x_i=1]``, applying the reduction
 rule, and deduplicating the surviving pairs into nodes.
 
-Two implementations are provided:
+Two implementations are provided, each registered with the execution
+engine's kernel registry (:func:`repro.core.engine.register_kernel`) so
+every DP entry point and the CLI can select them by name:
 
-* :func:`compact` — vectorized over numpy (the default engine);
+* :func:`compact` — vectorized over numpy (the default ``"numpy"`` kernel);
 * :func:`compact_python` — a direct, cell-at-a-time transcription of the
-  paper's ``COMPACT`` pseudo code, kept as an executable specification and
-  used by the tests to cross-check the vectorized kernel.
+  paper's ``COMPACT`` pseudo code (the ``"python"`` kernel), kept as an
+  executable specification and used by the tests to cross-check the
+  vectorized kernel.
 
 Correctness note on the paper's ``NODE`` membership test: the paper's
 pseudo code initializes ``NODE_(I\\i,i)`` with ``NODE_(I\\i)`` and tests
@@ -35,12 +38,14 @@ import numpy as np
 
 from .._bitops import insert_bit_indices, rank_in_mask
 from ..analysis.counters import OperationCounters
+from .engine import register_kernel
 from .spec import FSState, ReductionRule
 
 _KEY_SHIFT = 32
 _ID_LIMIT = 1 << _KEY_SHIFT
 
 
+@register_kernel("numpy")
 def compact(
     state: FSState,
     var: int,
@@ -127,6 +132,7 @@ def compact(
     )
 
 
+@register_kernel("python")
 def compact_python(
     state: FSState,
     var: int,

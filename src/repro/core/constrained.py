@@ -19,13 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .._bitops import bits_of, popcount, subsets_of_size
+from .._bitops import bits_of
 from ..analysis.counters import OperationCounters
 from ..errors import DimensionError, OrderingError
+from ..observability import Profiler
 from ..truth_table import TruthTable
-from .compaction import compact
+from .engine import EngineConfig, FrontierPolicy, run_layered_sweep
 from .fs import initial_state
-from .spec import FSState, ReductionRule
+from .spec import ReductionRule
 
 Precedence = Sequence[Tuple[int, int]]  # (earlier, later) pairs
 
@@ -95,12 +96,19 @@ def run_fs_constrained(
     precedence: Precedence,
     rule: ReductionRule = ReductionRule.BDD,
     counters: Optional[OperationCounters] = None,
+    engine: str = "numpy",
+    jobs: int = 1,
+    frontier: str | FrontierPolicy = FrontierPolicy.FULL,
+    profiler: Optional[Profiler] = None,
 ) -> ConstrainedResult:
     """Optimal ordering among those honoring every ``(earlier, later)``
     pair (``earlier`` is read closer to the root).
 
     With an empty precedence this is exactly :func:`repro.core.fs.run_fs`;
-    with a total order it just costs the single feasible chain.
+    with a total order it just costs the single feasible chain.  The
+    shared execution engine restricts the sweep to the feasible
+    sub-lattice via a subset filter, so constrained runs get the same
+    kernel selection, layer parallelism and profiling for free.
     """
     if counters is None:
         counters = OperationCounters()
@@ -108,29 +116,18 @@ def run_fs_constrained(
     after = _closure_masks(n, precedence)
     full = (1 << n) - 1
 
-    previous: Dict[int, FSState] = {0: initial_state(table, rule)}
-    feasible_subsets = 0
-    for k in range(1, n + 1):
-        current: Dict[int, FSState] = {}
-        for mask in subsets_of_size(full, k):
-            if not _feasible(mask, after):
-                continue
-            best: Optional[FSState] = None
-            for i in bits_of(mask):
-                prev = previous.get(mask & ~(1 << i))
-                if prev is None:
-                    continue  # infeasible predecessor
-                candidate = compact(prev, i, rule, counters)
-                if best is None or candidate.mincost < best.mincost:
-                    best = candidate
-            if best is None:  # pragma: no cover - closure guarantees a path
-                raise OrderingError("no feasible chain reaches a feasible set")
-            current[mask] = best
-            feasible_subsets += 1
-            counters.subsets_processed += 1
-        previous = current
-
-    final = previous[full]
+    config = EngineConfig(
+        kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler
+    )
+    outcome = run_layered_sweep(
+        initial_state(table, rule),
+        full,
+        rule=rule,
+        counters=counters,
+        config=config,
+        subset_filter=lambda mask: _feasible(mask, after),
+    )
+    final = outcome.frontier[full]
     pi = final.pi
     return ConstrainedResult(
         n=n,
@@ -139,7 +136,7 @@ def run_fs_constrained(
         pi=pi,
         mincost=final.mincost,
         num_terminals=final.num_terminals,
-        feasible_subsets=feasible_subsets,
+        feasible_subsets=outcome.subsets_processed,
         counters=counters,
     )
 

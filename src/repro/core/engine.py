@@ -1,0 +1,420 @@
+"""The execution engine shared by every FS-family dynamic program.
+
+All five DP entry points — :func:`repro.core.fs.run_fs`,
+:func:`repro.core.shared.run_fs_shared`, the precedence-constrained DP,
+the sliding-window reorderer and FS* — are instances of one computation:
+sweep the subsets of a universe mask in order of cardinality, computing
+each subset's best state from its one-smaller predecessors via a table
+compaction, and retain the finished layer as the frontier for the next.
+This module owns that sweep; the entry points only prepare a base state
+and interpret the outcome.  Centralizing it buys three things at once:
+
+* a **kernel registry** — compaction implementations register by name
+  (:func:`register_kernel`) and are selectable uniformly everywhere,
+  including the CLI, instead of the old hardcoded ``if engine ==``
+  dispatch;
+* **layer parallelism** — masks of equal cardinality are independent
+  (Lemma 4's recurrence only reads the previous layer), so ``jobs=N``
+  fans each layer over a thread pool.  Each worker tallies into its own
+  :class:`~repro.analysis.counters.OperationCounters` and the engine
+  merges them in deterministic chunk order, so results *and counters*
+  are bit-identical to the sequential run;
+* a **frontier policy** — the retained layer is the memory ceiling
+  (``C(n, n/2)`` states of ``2^{n/2}`` cells each at the waist).
+  :attr:`FrontierPolicy.MINCOST_ONLY` keeps only ``(pi, mincost)``
+  skeletons and rematerializes predecessor tables on demand by replaying
+  the recorded chain, trading ``O(k)`` extra compactions per candidate
+  for an ``O(2^n)`` peak frontier.  Lemma 3 guarantees the replayed
+  chain yields the same level costs as any other chain through the same
+  subsets, so every result — including the full ``MINCOST_I`` table and
+  the enumeration of all optimal orderings — is unchanged.
+
+A :class:`~repro.observability.Profiler` attached to the
+:class:`EngineConfig` records per-layer wall-clock, subset throughput,
+frontier footprint and counter snapshots.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .._bitops import bits_of, popcount, subsets_of_size
+from ..analysis.counters import OperationCounters
+from ..errors import DimensionError, OrderingError
+from ..observability import Profiler, frontier_nbytes
+from .spec import FSState, ReductionRule
+
+KernelFn = Callable[..., FSState]
+"""Signature of a compaction kernel:
+``kernel(state, var, rule, counters) -> FSState``."""
+
+_KERNELS: Dict[str, KernelFn] = {}
+_BUILTINS_LOADED = False
+
+
+def register_kernel(name: str) -> Callable[[KernelFn], KernelFn]:
+    """Class decorator registering a compaction kernel under ``name``.
+
+    Kernels self-register at import time (see
+    :mod:`repro.core.compaction` for the built-in ``numpy`` and
+    ``python`` kernels); registered names become valid for every
+    ``engine=`` parameter and the CLI ``--engine`` flag.
+    """
+
+    def decorate(fn: KernelFn) -> KernelFn:
+        _KERNELS[name] = fn
+        return fn
+
+    return decorate
+
+
+def _ensure_builtins() -> None:
+    # The built-in kernels live in repro.core.compaction, which imports
+    # this module for the decorator; defer the reverse import until a
+    # kernel is actually looked up to keep the modules acyclic.
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        from . import compaction  # noqa: F401  (import triggers registration)
+
+        _BUILTINS_LOADED = True
+
+
+def get_kernel(name: str) -> KernelFn:
+    """Resolve a registered kernel; raises ``ValueError`` on unknown names."""
+    _ensure_builtins()
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of {available_kernels()}"
+        ) from None
+
+
+def available_kernels() -> List[str]:
+    """Registered kernel names, sorted (for CLI choices and errors)."""
+    _ensure_builtins()
+    return sorted(_KERNELS)
+
+
+class FrontierPolicy(enum.Enum):
+    """What each finished DP layer retains."""
+
+    FULL = "full"
+    """Keep complete :class:`FSState` objects, tables included (the
+    fastest option and the historical behavior)."""
+
+    MINCOST_ONLY = "mincost"
+    """Keep only ``(pi, mincost)`` per subset; predecessor tables are
+    rematerialized on demand by replaying the recorded chain.  Peak
+    frontier memory drops from ``C(n,k) * 2^{n-k}`` cells to ``O(2^n)``
+    at the cost of ``O(k)`` extra compactions per candidate (tallied
+    under the ``recompute_compactions`` / ``recompute_cells`` extra
+    counters, never in the paper-facing totals)."""
+
+
+def coerce_policy(policy: Union[str, "FrontierPolicy"]) -> "FrontierPolicy":
+    if isinstance(policy, FrontierPolicy):
+        return policy
+    try:
+        return FrontierPolicy(policy)
+    except ValueError:
+        raise ValueError(
+            f"unknown frontier policy {policy!r}; expected one of "
+            f"{[p.value for p in FrontierPolicy]}"
+        ) from None
+
+
+@dataclass
+class EngineConfig:
+    """How the engine executes a sweep (orthogonal to *what* it computes)."""
+
+    kernel: str = "numpy"
+    jobs: int = 1
+    frontier: FrontierPolicy = FrontierPolicy.FULL
+    profiler: Optional[Profiler] = None
+
+    def __post_init__(self) -> None:
+        self.frontier = coerce_policy(self.frontier)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        # Resolve eagerly so configuration errors surface at call sites.
+        get_kernel(self.kernel)
+
+
+@dataclass
+class _Skeleton:
+    """Mincost-only frontier entry: enough to rebuild the state on demand."""
+
+    pi: Tuple[int, ...]
+    mincost: int
+
+
+_Entry = Union[FSState, _Skeleton]
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a DP entry point may need from a finished sweep.
+
+    Masks are *relative* to the swept universe: for the full-function
+    DPs (``base.mask == 0``) they coincide with absolute variable masks;
+    for FS* they are sub-masks of ``J`` exactly as
+    :func:`repro.core.fs_star.fs_star_levels` has always returned them.
+    """
+
+    frontier: Dict[int, FSState]
+    """States of the final layer (``|K| == upto``), fully materialized."""
+
+    mincost_by_subset: Dict[int, int]
+    """``MINCOST`` for every finalized subset, including the base (mask 0)."""
+
+    best_last: Dict[int, int]
+    """For each finalized non-empty subset, the minimizing last variable."""
+
+    level_cost_by_choice: Dict[Tuple[int, int], int]
+    """``Cost_i`` for every evaluated candidate, keyed by the predecessor
+    state's *absolute* mask and the placed variable."""
+
+    subsets_processed: int = 0
+    """Subsets finalized across all layers (== feasible subsets when a
+    filter was active)."""
+
+
+def run_layered_sweep(
+    base: FSState,
+    universe_mask: int,
+    rule: ReductionRule = ReductionRule.BDD,
+    counters: Optional[OperationCounters] = None,
+    config: Optional[EngineConfig] = None,
+    upto: Optional[int] = None,
+    subset_filter: Optional[Callable[[int], bool]] = None,
+) -> SweepOutcome:
+    """Sweep all sub-masks of ``universe_mask`` in cardinality order.
+
+    Parameters
+    ----------
+    base:
+        Starting state; ``universe_mask`` must be disjoint from
+        ``base.mask`` and within ``base.free_mask``.
+    upto:
+        Stop after layer ``upto`` (defaults to ``popcount(universe_mask)``);
+        the returned frontier is that layer.
+    subset_filter:
+        Optional feasibility predicate over relative masks; filtered
+        subsets are never computed and never serve as predecessors (the
+        precedence-constrained DP).  A feasible subset none of whose
+        predecessors were feasible raises
+        :class:`~repro.errors.OrderingError`.
+    """
+    if config is None:
+        config = EngineConfig()
+    if counters is None:
+        counters = OperationCounters()
+    kernel = get_kernel(config.kernel)
+    profiler = config.profiler
+
+    if universe_mask & base.mask:
+        raise DimensionError(
+            f"universe mask {universe_mask:#x} overlaps already-placed "
+            f"variables {base.mask:#x}"
+        )
+    if universe_mask & ~((1 << base.n) - 1):
+        raise DimensionError(
+            f"universe mask {universe_mask:#x} mentions out-of-range variables"
+        )
+    size_u = popcount(universe_mask)
+    if upto is None:
+        upto = size_u
+    if not 0 <= upto <= size_u:
+        raise ValueError(f"upto={upto} out of range for |universe|={size_u}")
+
+    mincost_by_subset: Dict[int, int] = {0: base.mincost}
+    best_last: Dict[int, int] = {}
+    level_cost_by_choice: Dict[Tuple[int, int], int] = {}
+    subsets_processed = 0
+
+    previous: Dict[int, _Entry] = {0: base}
+    if upto == 0:
+        return SweepOutcome(
+            frontier={0: base},
+            mincost_by_subset=mincost_by_subset,
+            best_last=best_last,
+            level_cost_by_choice=level_cost_by_choice,
+        )
+
+    pool: Optional[ThreadPoolExecutor] = None
+    if config.jobs > 1:
+        pool = ThreadPoolExecutor(max_workers=config.jobs)
+    try:
+        for k in range(1, upto + 1):
+            layer_masks = [
+                mask
+                for mask in subsets_of_size(universe_mask, k)
+                if subset_filter is None or subset_filter(mask)
+            ]
+            # The last layer is the caller-visible frontier and must carry
+            # real tables; intermediate layers may keep skeletons.
+            retain_full = (
+                config.frontier is FrontierPolicy.FULL or k == upto
+            )
+            started = time.perf_counter()
+            current: Dict[int, _Entry] = {}
+            if pool is not None and len(layer_masks) > 1:
+                chunks = _split_chunks(layer_masks, config.jobs)
+                workers = [
+                    pool.submit(
+                        _sweep_chunk,
+                        chunk,
+                        previous,
+                        base,
+                        kernel,
+                        rule,
+                        retain_full,
+                        OperationCounters(),
+                    )
+                    for chunk in chunks
+                ]
+                # Merge strictly in chunk order: results are keyed by
+                # disjoint masks, and counter merge order is fixed, so the
+                # outcome is independent of thread scheduling.
+                for worker in workers:
+                    part = worker.result()
+                    current.update(part.entries)
+                    mincost_by_subset.update(part.mincost)
+                    best_last.update(part.best_last)
+                    level_cost_by_choice.update(part.level_cost)
+                    subsets_processed += part.processed
+                    counters.merge(part.counters)
+            else:
+                part = _sweep_chunk(
+                    layer_masks, previous, base, kernel, rule, retain_full,
+                    counters,
+                )
+                current = part.entries
+                mincost_by_subset.update(part.mincost)
+                best_last.update(part.best_last)
+                level_cost_by_choice.update(part.level_cost)
+                subsets_processed += part.processed
+            previous = current
+            if profiler is not None:
+                profiler.record_layer(
+                    k=k,
+                    subsets=len(current),
+                    wall_seconds=time.perf_counter() - started,
+                    frontier_states=len(current),
+                    frontier_bytes=frontier_nbytes(current),
+                    counters=counters.snapshot(),
+                )
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    frontier = {
+        mask: _materialize(base, entry, kernel, rule, counters)
+        for mask, entry in previous.items()
+    }
+    return SweepOutcome(
+        frontier=frontier,
+        mincost_by_subset=mincost_by_subset,
+        best_last=best_last,
+        level_cost_by_choice=level_cost_by_choice,
+        subsets_processed=subsets_processed,
+    )
+
+
+@dataclass
+class _ChunkResult:
+    entries: Dict[int, _Entry] = field(default_factory=dict)
+    mincost: Dict[int, int] = field(default_factory=dict)
+    best_last: Dict[int, int] = field(default_factory=dict)
+    level_cost: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    processed: int = 0
+    counters: OperationCounters = field(default_factory=OperationCounters)
+
+
+def _split_chunks(items: Sequence[int], jobs: int) -> List[Sequence[int]]:
+    """Contiguous, deterministic near-equal split of a layer's masks."""
+    jobs = min(jobs, len(items))
+    out: List[Sequence[int]] = []
+    start = 0
+    for j in range(jobs):
+        stop = start + (len(items) - start) // (jobs - j)
+        out.append(items[start:stop])
+        start = stop
+    return [chunk for chunk in out if chunk]
+
+
+def _sweep_chunk(
+    masks: Sequence[int],
+    previous: Dict[int, _Entry],
+    base: FSState,
+    kernel: KernelFn,
+    rule: ReductionRule,
+    retain_full: bool,
+    counters: OperationCounters,
+) -> _ChunkResult:
+    """Finalize a slice of one layer (runs on a worker thread).
+
+    Reads ``previous`` without mutating it; writes only into its own
+    result, which the coordinator merges in deterministic order.
+    """
+    out = _ChunkResult(counters=counters)
+    for mask in masks:
+        best: Optional[FSState] = None
+        best_i = -1
+        for i in bits_of(mask):
+            entry = previous.get(mask & ~(1 << i))
+            if entry is None:
+                continue  # infeasible predecessor under a subset filter
+            prev_state = _materialize(base, entry, kernel, rule, counters)
+            candidate = kernel(prev_state, i, rule, counters)
+            out.level_cost[(prev_state.mask, i)] = (
+                candidate.mincost - prev_state.mincost
+            )
+            if best is None or candidate.mincost < best.mincost:
+                best = candidate
+                best_i = i
+        if best is None:
+            raise OrderingError(
+                f"no feasible chain reaches subset {mask:#x}"
+            )
+        out.entries[mask] = (
+            best if retain_full else _Skeleton(pi=best.pi, mincost=best.mincost)
+        )
+        out.mincost[mask] = best.mincost
+        out.best_last[mask] = best_i
+        out.processed += 1
+        counters.subsets_processed += 1
+    return out
+
+
+def _materialize(
+    base: FSState,
+    entry: _Entry,
+    kernel: KernelFn,
+    rule: ReductionRule,
+    counters: OperationCounters,
+) -> FSState:
+    """Turn a frontier entry back into a full state.
+
+    For a skeleton this replays its chain from ``base``.  By Lemma 3 the
+    subfunction partition at every step depends only on the subset, so
+    the rebuilt state has the same mincost (asserted) and the same level
+    costs as the one the sweep measured.  The replay work is tallied
+    under ``extra`` counters so the paper-facing totals (``table_cells``
+    == ``n * 3^{n-1}`` for a full FS run) stay exact.
+    """
+    if isinstance(entry, FSState):
+        return entry
+    scratch = OperationCounters()
+    state = base
+    for var in entry.pi[len(base.pi):]:
+        state = kernel(state, var, rule, scratch)
+    assert state.mincost == entry.mincost, "replayed chain must reproduce mincost"
+    counters.add_extra("recompute_compactions", scratch.compactions)
+    counters.add_extra("recompute_cells", scratch.table_cells)
+    return state

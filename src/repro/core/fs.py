@@ -17,15 +17,16 @@ measures exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from .._bitops import bits_of, popcount, subsets_of_size
+from .._bitops import bits_of
 from ..analysis.counters import OperationCounters
 from ..errors import DimensionError
+from ..observability import Profiler
 from ..truth_table import TruthTable
-from .compaction import compact, compact_python
+from .engine import EngineConfig, FrontierPolicy, get_kernel, run_layered_sweep
 from .spec import FSState, ReductionRule
 
 CompactFn = Callable[..., FSState]
@@ -164,6 +165,9 @@ def run_fs(
     rule: ReductionRule = ReductionRule.BDD,
     counters: Optional[OperationCounters] = None,
     engine: str = "numpy",
+    jobs: int = 1,
+    frontier: Union[str, FrontierPolicy] = FrontierPolicy.FULL,
+    profiler: Optional[Profiler] = None,
 ) -> FSResult:
     """Run the full Friedman-Supowit dynamic program.
 
@@ -177,8 +181,21 @@ def run_fs(
     counters:
         Optional instrumentation sink.
     engine:
-        ``"numpy"`` (vectorized kernel) or ``"python"`` (the executable
-        specification; exponentially slower, for validation/ablation).
+        Name of a registered compaction kernel — ``"numpy"`` (vectorized)
+        or ``"python"`` (the executable specification; exponentially
+        slower, for validation/ablation).  See
+        :func:`repro.core.engine.available_kernels`.
+    jobs:
+        Fan each DP layer over this many worker threads (masks of equal
+        cardinality are independent).  Results and counters are
+        bit-identical for every value.
+    frontier:
+        Layer-retention policy; ``"mincost"`` trades recompute time for
+        an ``O(2^n)`` peak frontier (see
+        :class:`repro.core.engine.FrontierPolicy`).
+    profiler:
+        Optional :class:`repro.observability.Profiler` receiving the
+        per-layer wall-clock/memory trajectory.
 
     Returns
     -------
@@ -187,14 +204,29 @@ def run_fs(
         ``MINCOST_I`` table for downstream analysis (Lemma 9 checks,
         enumeration of all optima, ...).
     """
-    compact_fn = _engine(engine)
     n = table.n
-    state0 = initial_state(table, rule)
     if counters is None:
         counters = OperationCounters()
-    final, mincost_by_subset, best_last, level_cost_by_choice = (
-        dp_over_all_subsets(state0, compact_fn, rule, counters)
+    config = EngineConfig(
+        kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler
     )
+    if profiler is not None:
+        with profiler.phase("prepare"):
+            state0 = initial_state(table, rule)
+        profiler.meta.setdefault("n", n)
+        profiler.meta.setdefault("rule", rule.value)
+        profiler.meta.setdefault("kernel", engine)
+        profiler.meta.setdefault("jobs", jobs)
+        profiler.meta.setdefault(
+            "frontier", config.frontier.value
+        )
+    else:
+        state0 = initial_state(table, rule)
+    full = (1 << n) - 1
+    outcome = run_layered_sweep(
+        state0, full, rule=rule, counters=counters, config=config
+    )
+    final = outcome.frontier[full]
     pi = final.pi
     order = tuple(reversed(pi))
     return FSResult(
@@ -204,63 +236,61 @@ def run_fs(
         pi=pi,
         mincost=final.mincost,
         num_terminals=final.num_terminals,
-        mincost_by_subset=mincost_by_subset,
-        best_last=best_last,
-        level_cost_by_choice=level_cost_by_choice,
+        mincost_by_subset=outcome.mincost_by_subset,
+        best_last=outcome.best_last,
+        level_cost_by_choice=outcome.level_cost_by_choice,
         counters=counters,
     )
 
 
 def dp_over_all_subsets(
     state0: FSState,
-    compact_fn: CompactFn,
+    compact_fn: Union[CompactFn, str],
     rule: ReductionRule,
     counters: OperationCounters,
 ) -> Tuple[FSState, Dict[int, int], Dict[int, int], Dict[Tuple[int, int], int]]:
     """The FS dynamic program over every subset of the free variables.
 
-    Shared by the single-function :func:`run_fs` and the multi-rooted
-    :func:`repro.core.shared.run_fs_shared` (the state's ``num_roots``
-    flows through the compaction kernel untouched).  Returns the final
-    state plus the three DP tables.
+    Compatibility wrapper over :func:`repro.core.engine.run_layered_sweep`
+    (which now owns the sweep); kept because the Lemma 4 recurrence is
+    documented against this name.  ``compact_fn`` may be a registered
+    kernel name or a raw kernel callable.
     """
-    n = state0.n
-    mincost_by_subset: Dict[int, int] = {0: state0.mincost}
-    best_last: Dict[int, int] = {}
-    level_cost_by_choice: Dict[Tuple[int, int], int] = {}
-    full = (1 << n) - 1
-    previous: Dict[int, FSState] = {0: state0}
+    if callable(compact_fn):
+        kernel_name = _kernel_name_of(compact_fn)
+    else:
+        kernel_name = compact_fn
+    full = (1 << state0.n) - 1
+    outcome = run_layered_sweep(
+        state0,
+        full & ~state0.mask,
+        rule=rule,
+        counters=counters,
+        config=EngineConfig(kernel=kernel_name),
+    )
+    final = outcome.frontier[full & ~state0.mask]
+    return (
+        final,
+        outcome.mincost_by_subset,
+        outcome.best_last,
+        outcome.level_cost_by_choice,
+    )
 
-    for k in range(1, n + 1):
-        current: Dict[int, FSState] = {}
-        for mask in subsets_of_size(full, k):
-            best: Optional[FSState] = None
-            best_i = -1
-            for i in bits_of(mask):
-                prev_state = previous[mask & ~(1 << i)]
-                candidate = compact_fn(prev_state, i, rule, counters)
-                level_cost_by_choice[(prev_state.mask, i)] = (
-                    candidate.mincost - prev_state.mincost
-                )
-                if best is None or candidate.mincost < best.mincost:
-                    best = candidate
-                    best_i = i
-            assert best is not None
-            current[mask] = best
-            mincost_by_subset[mask] = best.mincost
-            best_last[mask] = best_i
-            counters.subsets_processed += 1
-        previous = current
 
-    return previous[full], mincost_by_subset, best_last, level_cost_by_choice
+def _kernel_name_of(fn: CompactFn) -> str:
+    """Map a raw kernel callable back to its registered name."""
+    from .engine import _KERNELS, available_kernels
+
+    available_kernels()  # force built-in registration
+    for name, registered in _KERNELS.items():
+        if registered is fn:
+            return name
+    raise ValueError(f"{fn!r} is not a registered compaction kernel")
 
 
 def _engine(engine: str) -> CompactFn:
-    if engine == "numpy":
-        return compact
-    if engine == "python":
-        return compact_python
-    raise ValueError(f"unknown engine {engine!r}; expected 'numpy' or 'python'")
+    """Deprecated alias for :func:`repro.core.engine.get_kernel`."""
+    return get_kernel(engine)
 
 
 def find_optimal_ordering(
@@ -268,6 +298,7 @@ def find_optimal_ordering(
     n: Optional[int] = None,
     rule: ReductionRule = ReductionRule.BDD,
     engine: str = "numpy",
+    jobs: int = 1,
 ) -> FSResult:
     """Convenience front end accepting any evaluable representation.
 
@@ -283,4 +314,4 @@ def find_optimal_ordering(
         table = source
     else:
         table = to_truth_table(source, n)
-    return run_fs(table, rule=rule, engine=engine)
+    return run_fs(table, rule=rule, engine=engine, jobs=jobs)

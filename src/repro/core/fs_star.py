@@ -17,10 +17,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from .._bitops import bits_of, popcount, subsets_of_size
+from .._bitops import popcount
 from ..analysis.counters import OperationCounters
 from ..errors import DimensionError
-from .compaction import compact
+from .engine import EngineConfig, run_layered_sweep
 from .spec import FSState, ReductionRule
 
 
@@ -30,6 +30,7 @@ def fs_star_levels(
     rule: ReductionRule = ReductionRule.BDD,
     counters: Optional[OperationCounters] = None,
     upto: Optional[int] = None,
+    config: Optional[EngineConfig] = None,
 ) -> Dict[int, FSState]:
     """Run the FS* dynamic program over subsets of ``j_mask``.
 
@@ -41,6 +42,10 @@ def fs_star_levels(
         Bitmask of the set ``J``; must be disjoint from ``base.mask``.
     upto:
         Stop after prefix size ``upto`` (defaults to ``|J|``).
+    config:
+        Optional :class:`~repro.core.engine.EngineConfig` selecting the
+        compaction kernel, layer parallelism, frontier policy and
+        profiler; the sweep itself runs on the shared execution engine.
 
     Returns
     -------
@@ -62,24 +67,19 @@ def fs_star_levels(
         upto = size_j
     if not 0 <= upto <= size_j:
         raise ValueError(f"upto={upto} out of range for |J|={size_j}")
-
-    previous: Dict[int, FSState] = {0: base}
     if upto == 0:
         return {0: base}
-    for k in range(1, upto + 1):
-        current: Dict[int, FSState] = {}
-        for kmask in subsets_of_size(j_mask, k):
-            best: Optional[FSState] = None
-            for i in bits_of(kmask):
-                candidate = compact(previous[kmask & ~(1 << i)], i, rule, counters)
-                if best is None or candidate.mincost < best.mincost:
-                    best = candidate
-            assert best is not None
-            current[kmask] = best
-            if counters is not None:
-                counters.subsets_processed += 1
-        previous = current
-    return previous
+    # Preserve the historical contract that a ``None`` counters argument
+    # leaves the caller's instrumentation untouched.
+    outcome = run_layered_sweep(
+        base,
+        j_mask,
+        rule=rule,
+        counters=counters if counters is not None else OperationCounters(),
+        config=config,
+        upto=upto,
+    )
+    return outcome.frontier
 
 
 def run_fs_star(
@@ -87,11 +87,12 @@ def run_fs_star(
     j_mask: int,
     rule: ReductionRule = ReductionRule.BDD,
     counters: Optional[OperationCounters] = None,
+    config: Optional[EngineConfig] = None,
 ) -> FSState:
     """Produce the single quadruple ``FS(<I_1, ..., I_m, J>)`` (Lemma 8)."""
     if j_mask == 0:
         return base
-    levels = fs_star_levels(base, j_mask, rule, counters)
+    levels = fs_star_levels(base, j_mask, rule, counters, config=config)
     return levels[j_mask]
 
 

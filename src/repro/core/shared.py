@@ -23,9 +23,11 @@ import numpy as np
 
 from ..analysis.counters import OperationCounters
 from ..errors import DimensionError, OrderingError
+from ..observability import Profiler
 from ..truth_table import TruthTable
 from .compaction import compact
-from .fs import FSResult, dp_over_all_subsets, _engine
+from .engine import EngineConfig, FrontierPolicy, run_layered_sweep
+from .fs import FSResult
 from .spec import FSState, ReductionRule
 
 
@@ -89,19 +91,29 @@ def run_fs_shared(
     rule: ReductionRule = ReductionRule.BDD,
     counters: Optional[OperationCounters] = None,
     engine: str = "numpy",
+    jobs: int = 1,
+    frontier: str | FrontierPolicy = FrontierPolicy.FULL,
+    profiler: Optional[Profiler] = None,
 ) -> FSResult:
     """Exact optimal ordering for the shared diagram of several outputs.
 
     Same complexity as single-output FS up to the factor ``m`` in table
     sizes; returns an :class:`~repro.core.fs.FSResult` whose ``mincost``
-    counts the *shared* internal nodes of the whole forest.
+    counts the *shared* internal nodes of the whole forest.  Execution
+    options (``engine``/``jobs``/``frontier``/``profiler``) match
+    :func:`repro.core.fs.run_fs` — the same engine runs both DPs.
     """
     state0 = initial_state_shared(tables, rule)
     if counters is None:
         counters = OperationCounters()
-    final, mincost_by_subset, best_last, level_cost_by_choice = (
-        dp_over_all_subsets(state0, _engine(engine), rule, counters)
+    config = EngineConfig(
+        kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler
     )
+    full = (1 << state0.n) - 1
+    outcome = run_layered_sweep(
+        state0, full, rule=rule, counters=counters, config=config
+    )
+    final = outcome.frontier[full]
     pi = final.pi
     return FSResult(
         n=state0.n,
@@ -110,9 +122,9 @@ def run_fs_shared(
         pi=pi,
         mincost=final.mincost,
         num_terminals=final.num_terminals,
-        mincost_by_subset=mincost_by_subset,
-        best_last=best_last,
-        level_cost_by_choice=level_cost_by_choice,
+        mincost_by_subset=outcome.mincost_by_subset,
+        best_last=outcome.best_last,
+        level_cost_by_choice=outcome.level_cost_by_choice,
         counters=counters,
     )
 

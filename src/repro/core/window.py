@@ -25,7 +25,7 @@ from .._bitops import mask_of
 from ..analysis.counters import OperationCounters
 from ..errors import OrderingError
 from ..truth_table import TruthTable
-from .compaction import compact
+from .engine import EngineConfig, get_kernel
 from .fs import initial_state
 from .fs_star import run_fs_star
 from .spec import ReductionRule
@@ -49,10 +49,12 @@ def _chain_cost(
     order: Sequence[int],
     rule: ReductionRule,
     counters: Optional[OperationCounters] = None,
+    config: Optional[EngineConfig] = None,
 ) -> int:
+    kernel = get_kernel(config.kernel if config is not None else "numpy")
     state = initial_state(table, rule)
     for var in reversed(list(order)):
-        state = compact(state, var, rule, counters)
+        state = kernel(state, var, rule, counters)
     return state.mincost
 
 
@@ -63,11 +65,14 @@ def exact_window(
     width: int,
     rule: ReductionRule = ReductionRule.BDD,
     counters: Optional[OperationCounters] = None,
+    config: Optional[EngineConfig] = None,
 ) -> WindowResult:
     """Optimally rearrange ``order[start:start+width]``, rest frozen.
 
     Returns the improved ordering (identical outside the window) and the
-    new total internal-node count.
+    new total internal-node count.  ``config`` selects the execution
+    engine options (kernel, jobs, profiler) for the FS* solve and the
+    frozen-chain costing alike.
     """
     n = table.n
     order = list(order)
@@ -84,19 +89,20 @@ def exact_window(
     window = order[start:start + width]
 
     # Build the frozen bottom chain, then optimize the window with FS*.
+    kernel = get_kernel(config.kernel if config is not None else "numpy")
     state = initial_state(table, rule)
     for var in reversed(below):
-        state = compact(state, var, rule, counters)
+        state = kernel(state, var, rule, counters)
     cost_below = state.mincost
-    final = run_fs_star(state, mask_of(window), rule, counters)
+    final = run_fs_star(state, mask_of(window), rule, counters, config=config)
     optimized_window = list(reversed(final.pi[len(below):]))
 
     new_order = order[:start] + optimized_window + order[start + width:]
     # Widths above the window depend only on the variable sets (Lemma 3),
     # so re-costing the full chain is exact; the window block itself is
     # guaranteed optimal by Lemma 8.
-    old_size = _chain_cost(table, order, rule, counters)
-    new_size = _chain_cost(table, new_order, rule, counters)
+    old_size = _chain_cost(table, order, rule, counters, config)
+    new_size = _chain_cost(table, new_order, rule, counters, config)
     assert new_size <= old_size, "exact window must never regress"
     return WindowResult(
         order=tuple(new_order),
@@ -114,6 +120,7 @@ def window_sweep(
     rule: ReductionRule = ReductionRule.BDD,
     max_rounds: int = 10,
     counters: Optional[OperationCounters] = None,
+    config: Optional[EngineConfig] = None,
 ) -> WindowResult:
     """Slide the exact window across all positions until no improvement."""
     n = table.n
@@ -123,13 +130,15 @@ def window_sweep(
     order = list(initial_order) if initial_order is not None else list(range(n))
     if counters is None:
         counters = OperationCounters()
-    size = _chain_cost(table, order, rule, counters)
+    size = _chain_cost(table, order, rule, counters, config)
     solved = 0
 
     for _ in range(max_rounds):
         improved = False
         for start in range(n - width + 1):
-            result = exact_window(table, order, start, width, rule, counters)
+            result = exact_window(
+                table, order, start, width, rule, counters, config
+            )
             solved += 1
             if result.size < size:
                 size = result.size
@@ -140,7 +149,9 @@ def window_sweep(
     return WindowResult(
         order=tuple(order),
         size=size,
-        improved=solved > 0 and size < _chain_cost(table, initial_order or list(range(n)), rule),
+        improved=solved > 0
+        and size < _chain_cost(table, initial_order or list(range(n)), rule,
+                               None, config),
         windows_solved=solved,
         counters=counters,
     )

@@ -1,0 +1,156 @@
+"""Observability for the FS-family dynamic programs.
+
+The ROADMAP's north star is a system that runs "as fast as the hardware
+allows"; the prerequisite is being able to *see* where a run spends its
+time and memory.  This module provides the instrumentation layer the
+execution engine (:mod:`repro.core.engine`) emits into:
+
+* :class:`Profiler` — named phase timers plus a per-layer trajectory of
+  the subset-cardinality sweep (wall-clock, frontier footprint, subset
+  throughput, cumulative operation counters);
+* :class:`LayerProfile` — one record per DP layer ``k``;
+* :func:`frontier_nbytes` — bytes held by a frontier of
+  :class:`~repro.core.spec.FSState` objects (table payloads dominate).
+
+Everything serializes to plain JSON (``Profiler.to_dict`` /
+``Profiler.write``) so CLI runs (``repro optimize --profile out.json``)
+and benchmarks (``BENCH_*.json``) can record the same trajectory.
+
+Wall-clock numbers are honest measurements of *this* process; the paper's
+complexity claims are still pinned by the deterministic
+:class:`~repro.analysis.counters.OperationCounters`, which the profile
+embeds as per-layer snapshots so both views line up.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+# Python-object overhead charged per retained frontier state beyond its
+# table payload (dataclass + dict entry + pi tuple; a deliberate round
+# figure, not a measurement of a specific interpreter build).
+STATE_OVERHEAD_BYTES = 200
+
+
+def frontier_nbytes(frontier: Mapping[int, Any]) -> int:
+    """Approximate resident bytes of a ``mask -> FSState`` frontier.
+
+    Counts the numpy table payload exactly and charges a flat
+    :data:`STATE_OVERHEAD_BYTES` per entry; skeleton entries (mincost-only
+    retention, no table) cost only the overhead.
+    """
+    total = 0
+    for state in frontier.values():
+        table = getattr(state, "table", None)
+        if table is not None:
+            total += int(table.nbytes)
+        total += STATE_OVERHEAD_BYTES
+    return total
+
+
+@dataclass
+class LayerProfile:
+    """One layer of the subset-cardinality sweep, as observed."""
+
+    k: int
+    """Subset cardinality of this layer."""
+
+    subsets: int
+    """Subsets finalized in this layer (feasible ones, if filtered)."""
+
+    wall_seconds: float
+    """Wall-clock time spent computing the layer."""
+
+    frontier_states: int
+    """States retained after the layer completed."""
+
+    frontier_bytes: int
+    """Approximate bytes those states hold (see :func:`frontier_nbytes`)."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    """Cumulative :meth:`OperationCounters.snapshot` after the layer."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "k": self.k,
+            "subsets": self.subsets,
+            "wall_seconds": self.wall_seconds,
+            "frontier_states": self.frontier_states,
+            "frontier_bytes": self.frontier_bytes,
+            "counters": dict(self.counters),
+        }
+
+
+@dataclass
+class Profiler:
+    """Collects phase timings and the per-layer sweep trajectory.
+
+    A single profiler may span several DP runs (e.g. a window sweep runs
+    many FS* solves); layers append in execution order and phases
+    accumulate by name.  Pass one to ``run_fs(..., profiler=...)`` or any
+    other engine-backed entry point, then ``write(path)`` it.
+    """
+
+    phases: Dict[str, float] = field(default_factory=dict)
+    layers: List[LayerProfile] = field(default_factory=list)
+    peak_frontier_bytes: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+    """Free-form run description (n, rule, kernel, jobs, ...)."""
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named phase; repeated phases accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+    def record_layer(
+        self,
+        k: int,
+        subsets: int,
+        wall_seconds: float,
+        frontier_states: int,
+        frontier_bytes: int,
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.layers.append(
+            LayerProfile(
+                k=k,
+                subsets=subsets,
+                wall_seconds=wall_seconds,
+                frontier_states=frontier_states,
+                frontier_bytes=frontier_bytes,
+                counters=dict(counters or {}),
+            )
+        )
+        if frontier_bytes > self.peak_frontier_bytes:
+            self.peak_frontier_bytes = frontier_bytes
+
+    @property
+    def total_layer_seconds(self) -> float:
+        return sum(layer.wall_seconds for layer in self.layers)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "meta": dict(self.meta),
+            "phases": dict(self.phases),
+            "peak_frontier_bytes": self.peak_frontier_bytes,
+            "total_layer_seconds": self.total_layer_seconds,
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        """Emit the profile as JSON to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")

@@ -39,6 +39,32 @@ class TestOptimize:
         assert code == 0
         assert "rule             : zdd" in out
 
+    def test_engine_and_jobs_flags(self, run):
+        expr = "x0 & x1 | x2 & x3"
+        _, reference, _ = run("optimize", "--expr", expr)
+        for extra in (["--engine", "python"], ["--jobs", "2"]):
+            code, out, _ = run("optimize", "--expr", expr, *extra)
+            assert code == 0
+            assert out == reference
+
+    def test_unknown_engine_rejected(self, run):
+        with pytest.raises(SystemExit):
+            run("optimize", "--expr", "x0", "--engine", "cuda")
+
+    def test_profile_flag_writes_trajectory(self, run, tmp_path):
+        path = tmp_path / "profile.json"
+        code, out, _ = run(
+            "optimize", "--expr", "x0 & x1 | x2 & x3",
+            "--profile", str(path),
+        )
+        assert code == 0
+        assert "wrote profile" in out
+        profile = json.loads(path.read_text())
+        assert [layer["k"] for layer in profile["layers"]] == [1, 2, 3, 4]
+        assert profile["peak_frontier_bytes"] > 0
+        assert profile["layers"][-1]["counters"]["subsets_processed"] == 15
+        assert profile["meta"]["kernel"] == "numpy"
+
     def test_pla_input(self, run, tmp_path):
         table = TruthTable.random(4, seed=1)
         path = tmp_path / "f.pla"

@@ -172,6 +172,122 @@ class TestEngineEquivalence:
         assert counters.compactions == 1 and counters.table_cells == 4
 
 
+def canonical_cbdd_partition(table):
+    """CBDD cells hold *edges* ``node << 1 | complement``; canonicalize
+    the node part up to renaming while keeping the complement bit."""
+    relabel = {}
+    out = []
+    for edge in table.tolist():
+        node, complement = edge >> 1, edge & 1
+        if node == 0:  # the single TRUE terminal
+            out.append(("t", complement))
+            continue
+        if node not in relabel:
+            relabel[node] = len(relabel)
+        out.append(("n", relabel[node], complement))
+    return tuple(out)
+
+
+class TestEngineEquivalenceCBDD:
+    """The CBDD rule rewrites cofactor pairs before dedup (complement
+    normalization), a path the generic renaming check above does not pin
+    edge-exactly; these tests compare the full edge semantics."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cbdd_engines_agree_edge_exactly(self, seed):
+        tt = TruthTable.random(4, seed=seed)
+        a = initial_state(tt, ReductionRule.CBDD)
+        b = initial_state(tt, ReductionRule.CBDD)
+        for v in (1, 3, 0, 2):
+            a = compact(a, v, ReductionRule.CBDD)
+            b = compact_python(b, v, ReductionRule.CBDD)
+            assert a.mincost == b.mincost
+            assert canonical_cbdd_partition(a.table) == (
+                canonical_cbdd_partition(b.table)
+            )
+
+    def test_cbdd_complement_pair_shares_node_in_both_engines(self):
+        # f and ~f over the last variable normalize to one complement
+        # class: both kernels must create a single node for x0 here.
+        tt = TruthTable(2, [0, 1, 1, 0])  # x0 XOR x1
+        for kernel in (compact, compact_python):
+            state = kernel(initial_state(tt, ReductionRule.CBDD), 0,
+                           ReductionRule.CBDD)
+            assert state.mincost == 1  # one class for {x0, ~x0}
+
+    def test_cbdd_node_tracking_agrees(self):
+        tt = TruthTable.random(3, seed=31)
+        a = initial_state(tt, ReductionRule.CBDD, track_nodes=True)
+        b = initial_state(tt, ReductionRule.CBDD, track_nodes=True)
+        for v in (2, 1, 0):
+            a = compact(a, v, ReductionRule.CBDD)
+            b = compact_python(b, v, ReductionRule.CBDD)
+        assert len(a.nodes) == len(b.nodes) == a.mincost
+        for nodes in (a.nodes, b.nodes):
+            for _, (var, lo, hi) in nodes.items():
+                assert hi & 1 == 0  # 1-edge normalized to regular
+
+
+class TestEngineEquivalenceMultiRooted:
+    """Shared (num_roots > 1) states: the dedup must span all root
+    segments identically in both kernels."""
+
+    @pytest.mark.parametrize("rule", [ReductionRule.BDD, ReductionRule.ZDD,
+                                      ReductionRule.MTBDD])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_multi_rooted_engines_agree(self, rule, seed):
+        from repro.core.shared import initial_state_shared
+
+        if rule is ReductionRule.MTBDD:
+            tables = [TruthTable.random(4, seed=seed, num_values=3),
+                      TruthTable.random(4, seed=seed + 50, num_values=3)]
+        else:
+            tables = [TruthTable.random(4, seed=seed),
+                      TruthTable.random(4, seed=seed + 50)]
+        a = initial_state_shared(tables, rule)
+        b = initial_state_shared(tables, rule)
+        assert a.num_roots == 2
+        for v in (0, 2, 3, 1):
+            a = compact(a, v, rule)
+            b = compact_python(b, v, rule)
+            assert a.mincost == b.mincost
+            assert canonical_partition(
+                a.table, a.num_terminals
+            ) == canonical_partition(b.table, b.num_terminals)
+
+    def test_multi_rooted_cbdd_engines_agree(self):
+        from repro.core.shared import initial_state_shared
+
+        tables = [TruthTable.random(4, seed=41),
+                  TruthTable.random(4, seed=42),
+                  TruthTable.random(4, seed=43)]
+        a = initial_state_shared(tables, ReductionRule.CBDD)
+        b = initial_state_shared(tables, ReductionRule.CBDD)
+        assert a.num_roots == 3
+        for v in (3, 0, 1, 2):
+            a = compact(a, v, ReductionRule.CBDD)
+            b = compact_python(b, v, ReductionRule.CBDD)
+            assert a.mincost == b.mincost
+            assert canonical_cbdd_partition(a.table) == (
+                canonical_cbdd_partition(b.table)
+            )
+
+    def test_cross_root_sharing_counted_once_by_both_engines(self):
+        # Identical outputs: the shared diagram is the single-output one,
+        # so the joint dedup must collapse the duplicate segment fully.
+        from repro.core.shared import initial_state_shared
+
+        tt = TruthTable.random(3, seed=44)
+        shared = initial_state_shared([tt, tt])
+        single = initial_state(tt)
+        for v in (2, 0, 1):
+            shared_np = compact(shared, v)
+            shared_py = compact_python(shared, v)
+            single = compact(single, v)
+            assert shared_np.mincost == shared_py.mincost == single.mincost
+            shared = shared_np
+
+
 class TestNodeTracking:
     def test_tracked_nodes_are_consistent_triples(self):
         tt = TruthTable.random(4, seed=11)
