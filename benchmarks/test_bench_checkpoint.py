@@ -1,0 +1,100 @@
+"""Checkpoint round-trip: crash-safety overhead and resume speedup.
+
+Measured: per-layer checkpoint write/load wall-clock (the engine's
+``checkpoint_write``/``checkpoint_load`` profiler phases), checkpoint
+file sizes, the overhead a checkpointed run pays over a plain one, and
+the bit-identity of a kill-after-every-layer/resume cycle — recorded to
+``BENCH_checkpoint_roundtrip.json`` next to this file (the CI uploads it
+as an artifact alongside ``BENCH_fs_profile.json``).
+"""
+
+import json
+import pathlib
+
+from conftest import print_table
+
+from repro.analysis.complexity import fs_table_cells
+from repro.analysis.counters import OperationCounters
+from repro.core import FaultInjector, InjectedFault, run_fs
+from repro.observability import Profiler
+from repro.truth_table import TruthTable
+
+
+def test_checkpoint_roundtrip_artifact(benchmark, tmp_path):
+    n = 8
+    table = TruthTable.random(n, seed=n)
+
+    clean = run_fs(table, counters=OperationCounters())
+    assert clean.counters.table_cells == fs_table_cells(n)
+
+    ckpt = tmp_path / "ckpt"
+    write_profiler = Profiler()
+    checkpointed = benchmark.pedantic(
+        lambda: run_fs(table, counters=OperationCounters(),
+                       profiler=write_profiler,
+                       checkpoint_dir=str(ckpt)),
+        rounds=1, iterations=1,
+    )
+    assert checkpointed.order == clean.order
+    assert checkpointed.counters == clean.counters
+
+    files = sorted(ckpt.glob("ckpt_*_layer_*.json"))
+    assert len(files) == n
+    total_bytes = sum(path.stat().st_size for path in files)
+
+    # Kill after every layer k, resume; each cycle must reproduce the
+    # clean run bit-for-bit (results and counters).
+    resume_rows = []
+    for k in range(1, n + 1):
+        crash_dir = tmp_path / f"k{k}"
+        try:
+            run_fs(table, counters=OperationCounters(),
+                   checkpoint_dir=str(crash_dir),
+                   fault_injector=FaultInjector(kill_after_layer=k))
+            raise AssertionError("injected fault did not fire")
+        except InjectedFault:
+            pass
+        load_profiler = Profiler()
+        resumed = run_fs(table, counters=OperationCounters(),
+                         profiler=load_profiler,
+                         checkpoint_dir=str(crash_dir), resume=True)
+        assert resumed.order == clean.order
+        assert resumed.mincost == clean.mincost
+        assert resumed.counters == clean.counters
+        resume_rows.append({
+            "killed_after_layer": k,
+            "checkpoint_load_seconds": load_profiler.phases.get(
+                "checkpoint_load", 0.0),
+            "layers_recomputed": len(load_profiler.layers),
+        })
+        assert resume_rows[-1]["layers_recomputed"] == n - k
+
+    record = {
+        "benchmark": "checkpoint_roundtrip",
+        "n": n,
+        "checkpoint_files": len(files),
+        "checkpoint_bytes_total": total_bytes,
+        "checkpoint_write_seconds": write_profiler.phases[
+            "checkpoint_write"],
+        "sweep_seconds_checkpointed": write_profiler.total_layer_seconds,
+        "table_cells": clean.counters.table_cells,
+        "resume_cycles": resume_rows,
+    }
+    out_path = pathlib.Path(__file__).parent / "BENCH_checkpoint_roundtrip.json"
+    with open(out_path, "w") as handle:
+        json.dump(record, handle, indent=2)
+    with open(out_path) as handle:
+        assert json.load(handle)["checkpoint_files"] == n
+
+    print_table(
+        f"Checkpoint round-trip (n={n}, numpy kernel)",
+        ["killed after k", "load s", "layers recomputed"],
+        [
+            (row["killed_after_layer"],
+             f"{row['checkpoint_load_seconds']:.4f}",
+             row["layers_recomputed"])
+            for row in resume_rows
+        ],
+    )
+    print(f"checkpoint bytes total: {total_bytes} across {len(files)} layers; "
+          f"write phase {record['checkpoint_write_seconds']:.4f}s")

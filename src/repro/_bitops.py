@@ -19,18 +19,21 @@ import numpy as np
 
 def popcount(mask: int) -> int:
     """Number of set bits in ``mask``."""
-    return bin(mask).count("1")
+    # int.bit_count is a single CPython opcode-level call; the int()
+    # coercion keeps numpy integer masks working.
+    return int(mask).bit_count()
 
 
 def bits_of(mask: int) -> List[int]:
     """Return the indices of the set bits of ``mask`` in ascending order."""
+    # Lowest-set-bit iteration: one step per set bit instead of one per
+    # bit position (this runs in the DP's innermost candidate loop).
+    mask = int(mask)
     result = []
-    i = 0
     while mask:
-        if mask & 1:
-            result.append(i)
-        mask >>= 1
-        i += 1
+        low = mask & -mask
+        result.append(low.bit_length() - 1)
+        mask ^= low
     return result
 
 

@@ -154,9 +154,17 @@ class ReorderingBDD:
                     del self._unique[old_key]
                 self._nodes[u] = (var, rlo, rhi)
                 self._unique[(var, rlo, rhi)] = u
-        self._forward = {
-            s: t for s, t in self._forward.items() if s in self._roots
-        }
+        # Keep only forwards for registered roots, rewritten to their
+        # final targets.  A root forwarded twice between collects (r -> b
+        # -> c, with b itself forwarded in a later swap) would otherwise
+        # retain r -> b after b's entry is dropped here — a pointer at an
+        # id this very call just freed, dangling for any resolve() that
+        # has not already path-compressed the chain.
+        kept: Dict[int, int] = {}
+        for s in list(self._forward):
+            if s in self._roots:
+                kept[s] = self.resolve(s)
+        self._forward = kept
         return freed
 
     def size(self, include_terminals: bool = True) -> int:

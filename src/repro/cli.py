@@ -68,6 +68,19 @@ def _make_profiler(args: argparse.Namespace) -> Optional[Profiler]:
     return None
 
 
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """Execution options shared by every DP-running subcommand."""
+    kwargs = dict(engine=args.engine, jobs=args.jobs)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    resume = bool(getattr(args, "resume", False))
+    if resume and not checkpoint_dir:
+        raise ReproError("--resume requires --checkpoint-dir")
+    if checkpoint_dir:
+        kwargs["checkpoint_dir"] = checkpoint_dir
+        kwargs["resume"] = resume
+    return kwargs
+
+
 def _emit_profile(args: argparse.Namespace, profiler: Optional[Profiler]) -> None:
     if profiler is not None:
         profiler.write(args.profile)
@@ -89,8 +102,8 @@ def _run_optimize(args: argparse.Namespace) -> int:
     profiler = _make_profiler(args)
 
     if args.algorithm == "fs":
-        result = run_fs(table, rule=rule, engine=args.engine, jobs=args.jobs,
-                        profiler=profiler)
+        result = run_fs(table, rule=rule, profiler=profiler,
+                        **_engine_kwargs(args))
     elif args.algorithm == "astar":
         result = astar_optimal_ordering(table, rule=rule)
     elif args.algorithm == "optobdd":
@@ -113,7 +126,7 @@ def _run_optimize(args: argparse.Namespace) -> int:
     if args.dot or args.json:
         fs_result = (
             result if args.algorithm == "fs"
-            else run_fs(table, rule=rule, engine=args.engine, jobs=args.jobs)
+            else run_fs(table, rule=rule, **_engine_kwargs(args))
         )
         diagram = reconstruct_minimum_diagram(table, fs_result)
         if args.dot:
@@ -146,15 +159,15 @@ def _run_optimize_shared(args: argparse.Namespace) -> int:
             f"{tables[0].n} variables is beyond the exact DP's practical range"
         )
     profiler = _make_profiler(args)
-    result = run_fs_shared(tables, rule=rule, engine=args.engine,
-                           jobs=args.jobs, profiler=profiler)
+    result = run_fs_shared(tables, rule=rule, profiler=profiler,
+                           **_engine_kwargs(args))
     print(f"outputs          : {len(tables)} ({' '.join(labels)})")
     print(f"variables        : {tables[0].n}")
     print(f"rule             : {rule.value}")
     print(f"shared ordering  : {' '.join(f'x{v}' for v in result.order)}")
     print(f"shared nodes     : {result.mincost}")
     separate = sum(
-        _run_fs(t, rule=rule, engine=args.engine, jobs=args.jobs).mincost
+        _run_fs(t, rule=rule, **_engine_kwargs(args)).mincost
         for t in tables
     )
     print(f"separate optima  : {separate} (sum over outputs)")
@@ -182,19 +195,23 @@ def _run_tables(args: argparse.Namespace) -> int:
 
 
 def _run_gap(args: argparse.Namespace) -> int:
+    profiler = _make_profiler(args)
     print("pairs  vars  good(2n+2)  bad(2^(n+1))  optimal")
     for pairs in range(1, args.max_pairs + 1):
         table = achilles_heel(pairs)
         good = obdd_size(table, achilles_good_order(pairs))
         bad = obdd_size(table, achilles_bad_order(pairs))
-        optimal = run_fs(table, engine=args.engine, jobs=args.jobs).size
+        optimal = run_fs(table, profiler=profiler,
+                         **_engine_kwargs(args)).size
         print(f"{pairs:5d}  {2 * pairs:4d}  {good:10d}  {bad:12d}  {optimal:7d}")
+    _emit_profile(args, profiler)
     return 0
 
 
 def _run_heuristics(args: argparse.Namespace) -> int:
     table = _load_table(args)
-    exact = run_fs(table, engine=args.engine, jobs=args.jobs)
+    profiler = _make_profiler(args)
+    exact = run_fs(table, profiler=profiler, **_engine_kwargs(args))
     rows = [
         ("exact (FS)", exact.size, " ".join(f"x{v}" for v in exact.order)),
     ]
@@ -209,6 +226,7 @@ def _run_heuristics(args: argparse.Namespace) -> int:
     for name, size, order in rows:
         ratio = size / exact.size
         print(f"{name:<{width}}  size {size:4d}  ({ratio:.2f}x)  {order}")
+    _emit_profile(args, profiler)
     return 0
 
 
@@ -247,6 +265,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker threads per DP layer (subsets of equal "
                             "size are independent); results and operation "
                             "counters are identical for every value")
+        p.add_argument("--checkpoint-dir",
+                       help="snapshot every finished DP layer into this "
+                            "directory so an interrupted run can be "
+                            "restarted with --resume (results and "
+                            "operation counters are bit-identical to an "
+                            "uninterrupted run)")
+        p.add_argument("--resume", action="store_true",
+                       help="restart from the newest valid checkpoint in "
+                            "--checkpoint-dir (cold start if none matches "
+                            "this run's configuration; corrupt or "
+                            "mismatched checkpoints are an error, never "
+                            "silently skipped)")
+
+    def add_profile_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--profile",
+                       help="write a JSON execution profile (per-layer "
+                            "wall-clock, frontier bytes, counter snapshots, "
+                            "checkpoint write/load timings) of the FS "
+                            "dynamic program to this path")
 
     opt = sub.add_parser("optimize", help="find an optimal variable ordering")
     add_input_options(opt)
@@ -258,10 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
                      default="fs")
     opt.add_argument("--dot", help="write the minimum diagram as DOT")
     opt.add_argument("--json", help="write the minimum diagram as JSON")
-    opt.add_argument("--profile",
-                     help="write a JSON execution profile (per-layer "
-                          "wall-clock, frontier bytes, counter snapshots) "
-                          "of the FS dynamic program to this path")
+    add_profile_option(opt)
     opt.add_argument("--all-outputs", action="store_true",
                      help="optimize one shared ordering for every output "
                           "of a multi-output BLIF/PLA")
@@ -273,12 +307,14 @@ def build_parser() -> argparse.ArgumentParser:
     gap = sub.add_parser("gap", help="print the Figure 1 ordering-gap series")
     gap.add_argument("--max-pairs", type=int, default=7)
     add_engine_options(gap)
+    add_profile_option(gap)
     gap.set_defaults(handler=_run_gap)
 
     heur = sub.add_parser("heuristics",
                           help="compare heuristics against the exact optimum")
     add_input_options(heur)
     add_engine_options(heur)
+    add_profile_option(heur)
     heur.set_defaults(handler=_run_heuristics)
 
     rep = sub.add_parser("reproduce",
@@ -298,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit or verify an optimality certificate")
     add_input_options(cert)
     add_engine_options(cert)
+    add_profile_option(cert)
     cert.add_argument("--out", help="write the certificate JSON here")
     cert.add_argument("--check", help="verify a certificate JSON file")
     cert.set_defaults(handler=_run_certify)
@@ -344,8 +381,9 @@ def _run_certify(args: argparse.Namespace) -> int:
         return 0 if valid else 1
     if table.n > 12:
         raise ReproError("certificate extraction needs the full DP (n <= 12)")
+    profiler = _make_profiler(args)
     certificate = extract_certificate(
-        run_fs(table, engine=args.engine, jobs=args.jobs)
+        run_fs(table, profiler=profiler, **_engine_kwargs(args))
     )
     print(f"optimal ordering : {' '.join(f'x{v}' for v in certificate.order)}")
     print(f"certified optimum: {certificate.mincost} internal nodes")
@@ -353,6 +391,7 @@ def _run_certify(args: argparse.Namespace) -> int:
         with open(args.out, "w") as handle:
             handle.write(certificate.to_json())
         print(f"wrote certificate: {args.out}")
+    _emit_profile(args, profiler)
     return 0
 
 

@@ -16,6 +16,13 @@
 
 from .astar import AStarResult, astar_optimal_ordering
 from .bruteforce import BruteForceResult, brute_force_operation_bound, brute_force_optimal
+from .checkpoint import (
+    CheckpointStore,
+    FaultInjector,
+    InjectedFault,
+    corrupt_checkpoint,
+    sweep_fingerprint,
+)
 from .certificate import (
     OptimalityCertificate,
     extract_certificate,
@@ -99,6 +106,11 @@ __all__ = [
     "EngineConfig",
     "FrontierPolicy",
     "SweepOutcome",
+    "CheckpointStore",
+    "FaultInjector",
+    "InjectedFault",
+    "corrupt_checkpoint",
+    "sweep_fingerprint",
     "available_kernels",
     "get_kernel",
     "register_kernel",

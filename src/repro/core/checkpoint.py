@@ -1,0 +1,458 @@
+"""Crash-safe checkpoints for the layered sweep (and fault injection).
+
+The FS dynamic program is the most expensive thing this repository runs —
+``O*(3^n)`` table cells (Theorem 5) — and, because Lemma 4's recurrence
+only ever reads the previous layer, a finished layer is a perfect cut
+point: the frontier entries plus the accumulated DP tables are everything
+the sweep needs to continue.  This module snapshots exactly that state so
+:func:`repro.core.engine.run_layered_sweep` can restart from the last
+finished layer instead of from scratch, which covers every DP entry point
+(``run_fs``, ``run_fs_shared``, the constrained DP, the window optimizer
+and FS*) for free.
+
+Design points:
+
+* **Self-describing files.**  Each layer writes one JSON file carrying a
+  *fingerprint* of the sweep (kernel, rule, ``n``, universe mask, frontier
+  policy, a content hash of the base state, ...) and a SHA-256 *checksum*
+  of the payload.  Loading validates both; a truncated file, a checksum
+  mismatch or a fingerprint mismatch raises
+  :class:`~repro.errors.CheckpointError` naming the offending file —
+  a resume never silently continues from the wrong data.
+* **Fingerprint-scoped filenames.**  The fingerprint hash is part of the
+  filename, so many sweeps (a window sweep runs dozens of FS* solves) can
+  share one checkpoint directory without clobbering each other, and a
+  resume only ever considers files written by an identical sweep.
+* **Atomic writes.**  Files are written to a temp name and
+  ``os.replace``-d into place, so a crash mid-write leaves the previous
+  checkpoint intact (the torn temp file is ignored by the loader).
+* **Exact counter restoration.**  Each checkpoint stores the sweep's
+  *delta* of :class:`~repro.analysis.counters.OperationCounters` since
+  the sweep started.  Because the sweep is deterministic, restoring the
+  delta is indistinguishable from recomputing the layers: an
+  interrupted-then-resumed run is bit-identical to an uninterrupted one
+  in both results and counters (the fault-injection tests prove this for
+  all five entry points).
+
+:class:`FaultInjector` is the testing hook that makes the guarantee
+checkable: attached to an :class:`~repro.core.engine.EngineConfig` it can
+kill the process (raise :class:`InjectedFault`) after a chosen layer or
+after a chosen number of checkpoint writes, and corrupt a just-written
+checkpoint to exercise the validation paths.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..analysis.counters import OperationCounters
+from ..errors import CheckpointError
+from .spec import FSState
+
+FORMAT_VERSION = 1
+
+_COUNTER_FIELDS = (
+    "table_cells",
+    "compactions",
+    "nodes_created",
+    "subsets_processed",
+    "oracle_queries",
+    "classical_evaluations",
+)
+
+
+@dataclass
+class Skeleton:
+    """Mincost-only frontier entry: enough to rebuild the state on demand.
+
+    (Moved here from :mod:`repro.core.engine` so the checkpoint codec and
+    the engine share one definition; the engine re-exports it as
+    ``_Skeleton`` for backwards compatibility.)
+    """
+
+    pi: Tuple[int, ...]
+    mincost: int
+
+
+Entry = Union[FSState, Skeleton]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by :class:`FaultInjector` to simulate a crash.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: a real crash
+    is not handled by library error paths, so the simulated one must not
+    be either (the CLI's ``except ReproError`` would otherwise swallow
+    it and defeat the tests).
+    """
+
+
+def corrupt_checkpoint(path: str, mode: str = "truncate") -> None:
+    """Damage a checkpoint file in a controlled way (for fault injection).
+
+    ``"truncate"`` keeps only the first half of the file (torn write),
+    ``"flip"`` flips one byte in the middle (bit rot; the JSON usually
+    still parses but the checksum no longer matches), ``"garbage"``
+    replaces the content with non-JSON bytes.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if mode == "truncate":
+        data = data[: len(data) // 2]
+    elif mode == "flip":
+        mid = len(data) // 2
+        data = data[:mid] + bytes([data[mid] ^ 0xFF]) + data[mid + 1:]
+    elif mode == "garbage":
+        data = b"\x00corrupt checkpoint\x00" * 4
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    with open(path, "wb") as handle:
+        handle.write(data)
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic crash/corruption injection for checkpointed sweeps.
+
+    Attach one to ``EngineConfig(fault_injector=...)``; the engine calls
+    :meth:`on_layer_committed` after each layer's checkpoint is durably
+    on disk.  Counters persist across sweeps, so ``kill_after_writes``
+    can target a layer deep inside a multi-solve run (a window sweep).
+    """
+
+    kill_after_layer: Optional[int] = None
+    """Raise :class:`InjectedFault` after the first sweep layer with this
+    cardinality ``k`` commits."""
+
+    kill_after_writes: Optional[int] = None
+    """Raise after this many layer commits, counted across every sweep
+    this injector observes."""
+
+    corrupt_layer: Optional[int] = None
+    """Corrupt the checkpoint file of the layer with this cardinality
+    right after it is written (simulating a torn write that fsync'd)."""
+
+    corruption: str = "truncate"
+    """Damage mode for ``corrupt_layer`` (see :func:`corrupt_checkpoint`)."""
+
+    commits_seen: int = field(default=0, init=False)
+
+    def on_layer_committed(self, k: int, path: Optional[str]) -> None:
+        self.commits_seen += 1
+        if self.corrupt_layer == k and path is not None:
+            corrupt_checkpoint(path, self.corruption)
+        if self.kill_after_layer is not None and k == self.kill_after_layer:
+            raise InjectedFault(
+                f"injected crash after layer k={k} committed"
+            )
+        if (
+            self.kill_after_writes is not None
+            and self.commits_seen >= self.kill_after_writes
+        ):
+            raise InjectedFault(
+                f"injected crash after {self.commits_seen} checkpoint commits"
+            )
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+
+def sweep_fingerprint(
+    base: FSState,
+    universe_mask: int,
+    rule: str,
+    upto: int,
+    kernel: str,
+    frontier: str,
+    tag: str = "",
+) -> Dict[str, Any]:
+    """Identity of a sweep: two sweeps with equal fingerprints compute
+    bit-identical layers, so one may resume from the other's checkpoints.
+
+    The base state is folded in as a content hash of its table plus its
+    placement bookkeeping; ``tag`` lets entry points with state the engine
+    cannot see (the constrained DP's precedence closure — its
+    ``subset_filter`` is an opaque callable) contribute to the identity.
+    """
+    base_hash = hashlib.sha256()
+    base_hash.update(str(base.table.dtype).encode())
+    base_hash.update(np.ascontiguousarray(base.table).tobytes())
+    return {
+        "format": FORMAT_VERSION,
+        "kernel": kernel,
+        "rule": rule,
+        "frontier": frontier,
+        "n": base.n,
+        "num_roots": base.num_roots,
+        "num_terminals": base.num_terminals,
+        "track_nodes": base.nodes is not None,
+        "universe_mask": universe_mask,
+        "upto": upto,
+        "base_mask": base.mask,
+        "base_pi": list(base.pi),
+        "base_mincost": base.mincost,
+        "base_table_sha256": base_hash.hexdigest(),
+        "tag": tag,
+    }
+
+
+def fingerprint_hash(fingerprint: Dict[str, Any]) -> str:
+    """Short stable digest used to scope checkpoint filenames."""
+    canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
+# ----------------------------------------------------------------------
+# entry / counter codecs
+# ----------------------------------------------------------------------
+
+def _encode_entry(entry: Entry) -> Dict[str, Any]:
+    if isinstance(entry, FSState):
+        out: Dict[str, Any] = {
+            "kind": "state",
+            "mask": entry.mask,
+            "pi": list(entry.pi),
+            "mincost": entry.mincost,
+            "dtype": str(entry.table.dtype),
+            "table": base64.b64encode(
+                np.ascontiguousarray(entry.table).tobytes()
+            ).decode("ascii"),
+        }
+        if entry.nodes is not None:
+            out["nodes"] = [
+                [u, list(triple)] for u, triple in sorted(entry.nodes.items())
+            ]
+        return out
+    return {
+        "kind": "skeleton",
+        "pi": list(entry.pi),
+        "mincost": entry.mincost,
+    }
+
+
+def _decode_entry(
+    blob: Dict[str, Any], n: int, num_terminals: int, num_roots: int
+) -> Entry:
+    if blob["kind"] == "skeleton":
+        return Skeleton(pi=tuple(blob["pi"]), mincost=int(blob["mincost"]))
+    table = np.frombuffer(
+        base64.b64decode(blob["table"]), dtype=np.dtype(blob["dtype"])
+    ).copy()
+    nodes = None
+    if "nodes" in blob:
+        nodes = {int(u): tuple(triple) for u, triple in blob["nodes"]}
+    return FSState(
+        n=n,
+        mask=int(blob["mask"]),
+        pi=tuple(blob["pi"]),
+        mincost=int(blob["mincost"]),
+        table=table,
+        num_terminals=num_terminals,
+        nodes=nodes,
+        num_roots=num_roots,
+    )
+
+
+def counters_from_snapshot(snapshot: Dict[str, int]) -> OperationCounters:
+    """Rebuild an :class:`OperationCounters` from a plain-dict snapshot
+    (the inverse of ``OperationCounters.snapshot`` / ``diff``)."""
+    counters = OperationCounters()
+    for key, amount in snapshot.items():
+        if key in _COUNTER_FIELDS:
+            setattr(counters, key, int(amount))
+        else:
+            counters.add_extra(key, int(amount))
+    return counters
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+
+@dataclass
+class RestoredSweep:
+    """Everything a resumed sweep needs to continue after ``layer``."""
+
+    layer: int
+    entries: Dict[int, Entry]
+    mincost_by_subset: Dict[int, int]
+    best_last: Dict[int, int]
+    level_cost_by_choice: Dict[Tuple[int, int], int]
+    subsets_processed: int
+    counter_delta: OperationCounters
+    path: str
+
+
+class CheckpointStore:
+    """Reads and writes per-layer sweep checkpoints in one directory.
+
+    Files are named ``ckpt_<fingerprint12>_layer_<k>.json`` so multiple
+    sweeps coexist; only files matching this store's fingerprint are ever
+    considered for resume, and every load re-validates the embedded
+    fingerprint and payload checksum.
+    """
+
+    def __init__(self, directory: str, fingerprint: Dict[str, Any]) -> None:
+        self.directory = directory
+        self.fingerprint = fingerprint
+        self.fp_hash = fingerprint_hash(fingerprint)
+        os.makedirs(directory, exist_ok=True)
+
+    def layer_path(self, k: int) -> str:
+        return os.path.join(
+            self.directory, f"ckpt_{self.fp_hash}_layer_{k:04d}.json"
+        )
+
+    def layers_on_disk(self) -> List[int]:
+        """Layer numbers with a checkpoint file for this fingerprint."""
+        pattern = re.compile(
+            rf"^ckpt_{re.escape(self.fp_hash)}_layer_(\d+)\.json$"
+        )
+        out = []
+        for name in os.listdir(self.directory):
+            match = pattern.match(name)
+            if match:
+                out.append(int(match.group(1)))
+        return sorted(out)
+
+    def save_layer(
+        self,
+        k: int,
+        entries: Dict[int, Entry],
+        mincost_by_subset: Dict[int, int],
+        best_last: Dict[int, int],
+        level_cost_by_choice: Dict[Tuple[int, int], int],
+        subsets_processed: int,
+        counter_delta: Dict[str, int],
+    ) -> str:
+        """Atomically persist layer ``k``; returns the file path."""
+        payload = {
+            "fingerprint": self.fingerprint,
+            "layer": k,
+            "entries": [
+                [mask, _encode_entry(entry)]
+                for mask, entry in sorted(entries.items())
+            ],
+            "mincost_by_subset": sorted(mincost_by_subset.items()),
+            "best_last": sorted(best_last.items()),
+            "level_cost_by_choice": [
+                [list(key), cost]
+                for key, cost in sorted(level_cost_by_choice.items())
+            ],
+            "subsets_processed": subsets_processed,
+            "counter_delta": dict(sorted(counter_delta.items())),
+        }
+        payload_json = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        document = {
+            "format": FORMAT_VERSION,
+            "checksum": hashlib.sha256(payload_json.encode()).hexdigest(),
+            "payload": payload,
+        }
+        path = self.layer_path(k)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(document, handle, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    def load_latest(self, upto: int) -> Optional[RestoredSweep]:
+        """Restore the newest finished layer ``<= upto``, or ``None``.
+
+        The newest matching file must validate; a damaged or mismatched
+        checkpoint raises :class:`~repro.errors.CheckpointError` rather
+        than silently falling back to an older layer or a cold start.
+        """
+        candidates = [k for k in self.layers_on_disk() if k <= upto]
+        if not candidates:
+            return None
+        return self.load_file(self.layer_path(max(candidates)))
+
+    def load_file(self, path: str) -> RestoredSweep:
+        """Load and fully validate one checkpoint file."""
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError as error:
+            raise CheckpointError(
+                f"checkpoint {path} could not be read: {error}"
+            ) from error
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise CheckpointError(
+                f"checkpoint {path} is truncated or not valid JSON "
+                f"({error})"
+            ) from None
+        if (
+            not isinstance(document, dict)
+            or "payload" not in document
+            or "checksum" not in document
+        ):
+            raise CheckpointError(
+                f"checkpoint {path} is missing its payload/checksum envelope"
+            )
+        payload = document["payload"]
+        payload_json = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(payload_json.encode()).hexdigest()
+        if digest != document["checksum"]:
+            raise CheckpointError(
+                f"checkpoint {path} failed its content checksum "
+                f"(expected {document['checksum']}, computed {digest}); "
+                "the file is corrupt"
+            )
+        found = payload.get("fingerprint", {})
+        if found != self.fingerprint:
+            differing = sorted(
+                key
+                for key in set(found) | set(self.fingerprint)
+                if found.get(key) != self.fingerprint.get(key)
+            )
+            raise CheckpointError(
+                f"checkpoint {path} was written by a different sweep "
+                f"configuration (fingerprint mismatch on: "
+                f"{', '.join(differing) or 'entire fingerprint'}); "
+                "refusing to resume from it"
+            )
+        n = self.fingerprint["n"]
+        num_terminals = self.fingerprint["num_terminals"]
+        num_roots = self.fingerprint["num_roots"]
+        try:
+            entries = {
+                int(mask): _decode_entry(blob, n, num_terminals, num_roots)
+                for mask, blob in payload["entries"]
+            }
+            restored = RestoredSweep(
+                layer=int(payload["layer"]),
+                entries=entries,
+                mincost_by_subset={
+                    int(mask): int(cost)
+                    for mask, cost in payload["mincost_by_subset"]
+                },
+                best_last={
+                    int(mask): int(var)
+                    for mask, var in payload["best_last"]
+                },
+                level_cost_by_choice={
+                    (int(key[0]), int(key[1])): int(cost)
+                    for key, cost in payload["level_cost_by_choice"]
+                },
+                subsets_processed=int(payload["subsets_processed"]),
+                counter_delta=counters_from_snapshot(
+                    payload["counter_delta"]
+                ),
+                path=path,
+            )
+        except (KeyError, ValueError, TypeError) as error:
+            raise CheckpointError(
+                f"checkpoint {path} has a malformed payload: {error!r}"
+            ) from None
+        return restored

@@ -24,6 +24,7 @@ from ..analysis.counters import OperationCounters
 from ..errors import DimensionError, OrderingError
 from ..observability import Profiler
 from ..truth_table import TruthTable
+from .checkpoint import FaultInjector
 from .engine import EngineConfig, FrontierPolicy, run_layered_sweep
 from .fs import initial_state
 from .spec import ReductionRule
@@ -100,6 +101,9 @@ def run_fs_constrained(
     jobs: int = 1,
     frontier: str | FrontierPolicy = FrontierPolicy.FULL,
     profiler: Optional[Profiler] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    fault_injector: Optional[FaultInjector] = None,
 ) -> ConstrainedResult:
     """Optimal ordering among those honoring every ``(earlier, later)``
     pair (``earlier`` is read closer to the root).
@@ -108,7 +112,8 @@ def run_fs_constrained(
     with a total order it just costs the single feasible chain.  The
     shared execution engine restricts the sweep to the feasible
     sub-lattice via a subset filter, so constrained runs get the same
-    kernel selection, layer parallelism and profiling for free.
+    kernel selection, layer parallelism, profiling and checkpoint/resume
+    support for free.
     """
     if counters is None:
         counters = OperationCounters()
@@ -116,8 +121,14 @@ def run_fs_constrained(
     after = _closure_masks(n, precedence)
     full = (1 << n) - 1
 
+    # The engine only sees the precedence as an opaque subset filter, so
+    # fold its transitive closure into the checkpoint fingerprint: runs
+    # with different constraints must never resume from each other.
+    tag = "constrained:" + ",".join(f"{m:x}" for m in after)
     config = EngineConfig(
-        kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler
+        kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler,
+        checkpoint_dir=checkpoint_dir, resume=resume,
+        fault_injector=fault_injector, checkpoint_tag=tag,
     )
     outcome = run_layered_sweep(
         initial_state(table, rule),

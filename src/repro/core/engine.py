@@ -31,7 +31,14 @@ and interpret the outcome.  Centralizing it buys three things at once:
 
 A :class:`~repro.observability.Profiler` attached to the
 :class:`EngineConfig` records per-layer wall-clock, subset throughput,
-frontier footprint and counter snapshots.
+frontier footprint, counter snapshots and checkpoint write/load timings.
+
+Crash safety: with ``checkpoint_dir`` set on the :class:`EngineConfig`,
+every finished layer is snapshotted through
+:mod:`repro.core.checkpoint`, and ``resume=True`` restarts the sweep
+from the last valid snapshot — results and counters bit-identical to an
+uninterrupted run.  Because every DP entry point routes through
+:func:`run_layered_sweep`, all of them inherit this for free.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from __future__ import annotations
 import enum
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -46,6 +54,7 @@ from .._bitops import bits_of, popcount, subsets_of_size
 from ..analysis.counters import OperationCounters
 from ..errors import DimensionError, OrderingError
 from ..observability import Profiler, frontier_nbytes
+from .checkpoint import CheckpointStore, FaultInjector, Skeleton, sweep_fingerprint
 from .spec import FSState, ReductionRule
 
 KernelFn = Callable[..., FSState]
@@ -137,23 +146,40 @@ class EngineConfig:
     frontier: FrontierPolicy = FrontierPolicy.FULL
     profiler: Optional[Profiler] = None
 
+    checkpoint_dir: Optional[str] = None
+    """Directory receiving one snapshot per finished layer (see
+    :mod:`repro.core.checkpoint`).  ``None`` disables checkpointing."""
+
+    resume: bool = False
+    """Restart from the newest valid checkpoint in ``checkpoint_dir``
+    matching this sweep's fingerprint; a cold start if none exists, a
+    :class:`~repro.errors.CheckpointError` if the newest one is damaged."""
+
+    fault_injector: Optional[FaultInjector] = None
+    """Test hook: notified after each layer commits; may crash the sweep
+    or corrupt the just-written checkpoint (see
+    :class:`repro.core.checkpoint.FaultInjector`)."""
+
+    checkpoint_tag: str = ""
+    """Extra entry-point state folded into the checkpoint fingerprint
+    (e.g. the constrained DP's precedence closure, which the engine only
+    sees as an opaque ``subset_filter`` callable)."""
+
     def __post_init__(self) -> None:
         self.frontier = coerce_policy(self.frontier)
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
         # Resolve eagerly so configuration errors surface at call sites.
         get_kernel(self.kernel)
 
 
-@dataclass
-class _Skeleton:
-    """Mincost-only frontier entry: enough to rebuild the state on demand."""
+# The skeleton entry now lives with the checkpoint codec; keep the
+# historical private name importable.
+_Skeleton = Skeleton
 
-    pi: Tuple[int, ...]
-    mincost: int
-
-
-_Entry = Union[FSState, _Skeleton]
+_Entry = Union[FSState, Skeleton]
 
 
 @dataclass
@@ -246,11 +272,44 @@ def run_layered_sweep(
             level_cost_by_choice=level_cost_by_choice,
         )
 
+    store: Optional[CheckpointStore] = None
+    counters_baseline: Optional[OperationCounters] = None
+    start_k = 1
+    if config.checkpoint_dir is not None:
+        store = CheckpointStore(
+            config.checkpoint_dir,
+            sweep_fingerprint(
+                base=base,
+                universe_mask=universe_mask,
+                rule=rule.value,
+                upto=upto,
+                kernel=config.kernel,
+                frontier=config.frontier.value,
+                tag=config.checkpoint_tag,
+            ),
+        )
+        # Counter deltas are checkpointed relative to the sweep's start,
+        # so a caller-prepopulated counters object restores exactly.
+        counters_baseline = counters.copy()
+        if config.resume:
+            with (profiler.phase("checkpoint_load") if profiler is not None
+                  else nullcontext()):
+                restored = store.load_latest(upto)
+            if restored is not None:
+                previous = restored.entries
+                mincost_by_subset = restored.mincost_by_subset
+                mincost_by_subset.setdefault(0, base.mincost)
+                best_last = restored.best_last
+                level_cost_by_choice = restored.level_cost_by_choice
+                subsets_processed = restored.subsets_processed
+                counters.merge(restored.counter_delta)
+                start_k = restored.layer + 1
+
     pool: Optional[ThreadPoolExecutor] = None
     if config.jobs > 1:
         pool = ThreadPoolExecutor(max_workers=config.jobs)
     try:
-        for k in range(1, upto + 1):
+        for k in range(start_k, upto + 1):
             layer_masks = [
                 mask
                 for mask in subsets_of_size(universe_mask, k)
@@ -309,6 +368,22 @@ def run_layered_sweep(
                     frontier_bytes=frontier_nbytes(current),
                     counters=counters.snapshot(),
                 )
+            checkpoint_path: Optional[str] = None
+            if store is not None:
+                assert counters_baseline is not None
+                with (profiler.phase("checkpoint_write")
+                      if profiler is not None else nullcontext()):
+                    checkpoint_path = store.save_layer(
+                        k=k,
+                        entries=current,
+                        mincost_by_subset=mincost_by_subset,
+                        best_last=best_last,
+                        level_cost_by_choice=level_cost_by_choice,
+                        subsets_processed=subsets_processed,
+                        counter_delta=counters.diff(counters_baseline),
+                    )
+            if config.fault_injector is not None:
+                config.fault_injector.on_layer_committed(k, checkpoint_path)
     finally:
         if pool is not None:
             pool.shutdown(wait=True)

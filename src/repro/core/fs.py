@@ -26,6 +26,7 @@ from ..analysis.counters import OperationCounters
 from ..errors import DimensionError
 from ..observability import Profiler
 from ..truth_table import TruthTable
+from .checkpoint import FaultInjector
 from .engine import EngineConfig, FrontierPolicy, get_kernel, run_layered_sweep
 from .spec import FSState, ReductionRule
 
@@ -168,6 +169,9 @@ def run_fs(
     jobs: int = 1,
     frontier: Union[str, FrontierPolicy] = FrontierPolicy.FULL,
     profiler: Optional[Profiler] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    fault_injector: Optional["FaultInjector"] = None,
 ) -> FSResult:
     """Run the full Friedman-Supowit dynamic program.
 
@@ -195,7 +199,17 @@ def run_fs(
         :class:`repro.core.engine.FrontierPolicy`).
     profiler:
         Optional :class:`repro.observability.Profiler` receiving the
-        per-layer wall-clock/memory trajectory.
+        per-layer wall-clock/memory trajectory (including checkpoint
+        write/load phase timings).
+    checkpoint_dir:
+        Snapshot every finished DP layer into this directory (see
+        :mod:`repro.core.checkpoint`), making the run crash-safe.
+    resume:
+        With ``checkpoint_dir``, restart from the newest valid snapshot;
+        the resumed run is bit-identical — results *and* counters — to
+        an uninterrupted one.
+    fault_injector:
+        Test hook simulating crashes/corruption at layer boundaries.
 
     Returns
     -------
@@ -208,7 +222,9 @@ def run_fs(
     if counters is None:
         counters = OperationCounters()
     config = EngineConfig(
-        kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler
+        kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler,
+        checkpoint_dir=checkpoint_dir, resume=resume,
+        fault_injector=fault_injector,
     )
     if profiler is not None:
         with profiler.phase("prepare"):
@@ -220,6 +236,9 @@ def run_fs(
         profiler.meta.setdefault(
             "frontier", config.frontier.value
         )
+        if checkpoint_dir is not None:
+            profiler.meta.setdefault("checkpoint_dir", checkpoint_dir)
+            profiler.meta.setdefault("resume", resume)
     else:
         state0 = initial_state(table, rule)
     full = (1 << n) - 1

@@ -25,6 +25,7 @@ from ..analysis.counters import OperationCounters
 from ..errors import DimensionError, OrderingError
 from ..observability import Profiler
 from ..truth_table import TruthTable
+from .checkpoint import FaultInjector
 from .compaction import compact
 from .engine import EngineConfig, FrontierPolicy, run_layered_sweep
 from .fs import FSResult
@@ -94,20 +95,26 @@ def run_fs_shared(
     jobs: int = 1,
     frontier: str | FrontierPolicy = FrontierPolicy.FULL,
     profiler: Optional[Profiler] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    fault_injector: Optional[FaultInjector] = None,
 ) -> FSResult:
     """Exact optimal ordering for the shared diagram of several outputs.
 
     Same complexity as single-output FS up to the factor ``m`` in table
     sizes; returns an :class:`~repro.core.fs.FSResult` whose ``mincost``
     counts the *shared* internal nodes of the whole forest.  Execution
-    options (``engine``/``jobs``/``frontier``/``profiler``) match
-    :func:`repro.core.fs.run_fs` — the same engine runs both DPs.
+    options (``engine``/``jobs``/``frontier``/``profiler``/
+    ``checkpoint_dir``/``resume``) match :func:`repro.core.fs.run_fs` —
+    the same engine runs both DPs.
     """
     state0 = initial_state_shared(tables, rule)
     if counters is None:
         counters = OperationCounters()
     config = EngineConfig(
-        kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler
+        kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler,
+        checkpoint_dir=checkpoint_dir, resume=resume,
+        fault_injector=fault_injector,
     )
     full = (1 << state0.n) - 1
     outcome = run_layered_sweep(

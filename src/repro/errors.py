@@ -25,3 +25,10 @@ class EvaluationError(ReproError):
 
 class BudgetExceeded(ReproError):
     """An instrumented run exceeded its configured operation budget."""
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint could not be loaded: the file was truncated or
+    corrupted (checksum mismatch), or it was written by a sweep with a
+    different configuration (fingerprint mismatch).  The message always
+    names the offending file; a resume never proceeds silently past one."""

@@ -178,3 +178,71 @@ class TestInPlaceSift:
         m.from_truth_table(tt)
         _, size = m.sift()
         assert size == eval_sift(tt).size
+
+
+class _NoCompressionBDD(ReorderingBDD):
+    """``resolve`` without path compression.
+
+    The base class's compressing resolve repairs forwarding chains as a
+    side effect of ``collect()``'s own reachability pass (``roots()``
+    resolves every root before the forward table is filtered), which
+    masks GC bugs in the filter itself.  Disabling compression exposes
+    the chain to ``collect()`` exactly as a traversal that has not yet
+    touched the root would see it.
+    """
+
+    def resolve(self, u: int) -> int:
+        while u in self._forward:
+            u = self._forward[u]
+        return u
+
+
+class TestForwardGC:
+    def _forward_identity(self, mgr, u):
+        """Retire node ``u`` to a fresh id, exactly as a swap-collision
+        does: the triple moves to a new id and ``u`` becomes a forward."""
+        var, lo, hi = mgr._nodes.pop(u)
+        del mgr._unique[(var, lo, hi)]
+        fresh = mgr._next_id
+        mgr._next_id += 1
+        mgr._nodes[fresh] = (var, lo, hi)
+        mgr._unique[(var, lo, hi)] = fresh
+        mgr._forward[u] = fresh
+        return fresh
+
+    def test_double_forwarded_root_survives_collect(self):
+        # A root forwarded twice between collects (r -> b -> c, the
+        # target of the first collision itself colliding later).  Random
+        # swap sequences essentially never produce this chain — the
+        # intermediate must collide again before anything resolves the
+        # root — so build it through the same mechanics swap() uses.
+        tt = TruthTable.random(3, seed=5)
+        mgr = _NoCompressionBDD(3)
+        root = mgr.from_truth_table(tt)
+        b = self._forward_identity(mgr, root)
+        c = self._forward_identity(mgr, b)
+        assert mgr._forward == {root: b, b: c}
+
+        mgr.collect()
+
+        # The kept entry must point at the final live node, not at the
+        # dead intermediate id this very collect() just dropped.
+        assert mgr._forward == {root: c}
+        assert mgr.resolve(root) in mgr._nodes
+        mgr.triple(root)  # would KeyError on a dangling forward
+        assert mgr.to_truth_table(root) == tt
+
+    def test_collect_leaves_only_final_live_targets(self):
+        # Invariant after any collect: every kept forward belongs to a
+        # root and points directly at a live node (or terminal).
+        rng = random.Random(7)
+        mgr = ReorderingBDD(4)
+        for seed in (1, 2):
+            mgr.from_truth_table(TruthTable.random(4, seed=seed))
+        for _ in range(30):
+            mgr.swap(rng.randrange(3))
+        mgr.collect()
+        for source, target in mgr._forward.items():
+            assert source in mgr._roots
+            assert target not in mgr._forward
+            assert target in mgr._nodes or target in (0, 1)

@@ -50,6 +50,54 @@ class TestBitsMask:
         assert mask_of(v for v in (0, 2)) == 0b101
 
 
+class TestFastPathsMatchReference:
+    """The optimized popcount/bits_of (``int.bit_count`` and lowest-set-bit
+    stripping) must agree everywhere with the straightforward versions
+    they replaced."""
+
+    @staticmethod
+    def _popcount_reference(mask):
+        return bin(mask).count("1")
+
+    @staticmethod
+    def _bits_of_reference(mask):
+        result = []
+        bit = 0
+        while mask:
+            if mask & 1:
+                result.append(bit)
+            mask >>= 1
+            bit += 1
+        return result
+
+    def _cases(self):
+        yield from range(1 << 10)
+        state = 0x9E3779B97F4A7C15
+        for _ in range(200):
+            state = (state * 6364136223846793005 + 1442695040888963407) % (
+                1 << 128
+            )
+            yield state
+
+    def test_popcount_equivalence(self):
+        for mask in self._cases():
+            assert popcount(mask) == self._popcount_reference(mask)
+
+    def test_bits_of_equivalence(self):
+        for mask in self._cases():
+            assert bits_of(mask) == self._bits_of_reference(mask)
+
+    def test_numpy_integer_masks_still_work(self):
+        # DP code sometimes hands these helpers numpy scalars; the int()
+        # coercion keeps them on the fast path (np.uint64 has no
+        # bit_count and overflows under `mask & -mask`).
+        for value in (0, 1, 0b1011, (1 << 30) | 5):
+            for dtype in (np.int64, np.uint64, np.int32):
+                mask = dtype(value)
+                assert popcount(mask) == self._popcount_reference(value)
+                assert bits_of(mask) == self._bits_of_reference(value)
+
+
 class TestRank:
     def test_rank_first(self):
         assert rank_in_mask(0b1011, 0) == 0

@@ -198,3 +198,72 @@ class TestSymmetryAndCertify:
         code, out, _ = run("certify", "--expr", "x0 ^ x1 ^ x2",
                            "--check", str(path))
         assert code == 1 and "INVALID" in out
+
+
+class TestProfileFlag:
+    """Every DP-running subcommand accepts --profile and writes a
+    trajectory with per-layer counters."""
+
+    def _check(self, path, expected_layers):
+        profile = json.loads(path.read_text())
+        assert [layer["k"] for layer in profile["layers"]] == expected_layers
+        assert profile["peak_frontier_bytes"] > 0
+        return profile
+
+    def test_optimize_all_outputs(self, run, tmp_path):
+        blif = tmp_path / "ha.blif"
+        blif.write_text(
+            ".model ha\n.inputs a b\n.outputs s c\n"
+            ".names a b s\n10 1\n01 1\n.names a b c\n11 1\n.end\n"
+        )
+        path = tmp_path / "profile.json"
+        code, out, _ = run("optimize", "--blif", str(blif), "--all-outputs",
+                           "--profile", str(path))
+        assert code == 0
+        assert "wrote profile" in out
+        self._check(path, [1, 2])
+
+    def test_gap(self, run, tmp_path):
+        path = tmp_path / "profile.json"
+        code, out, _ = run("gap", "--max-pairs", "2",
+                           "--profile", str(path))
+        assert code == 0
+        assert "wrote profile" in out
+        # One trajectory accumulates both achilles-heel runs (n=2, n=4).
+        self._check(path, [1, 2, 1, 2, 3, 4])
+
+    def test_heuristics(self, run, tmp_path):
+        path = tmp_path / "profile.json"
+        code, out, _ = run("heuristics", "--expr", "x0 & x1 | x2 & x3",
+                           "--profile", str(path))
+        assert code == 0
+        assert "wrote profile" in out
+        self._check(path, [1, 2, 3, 4])
+
+    def test_certify(self, run, tmp_path):
+        cert = tmp_path / "cert.json"
+        path = tmp_path / "profile.json"
+        code, out, _ = run("certify", "--expr", "x0 & x1 | x2",
+                           "--out", str(cert), "--profile", str(path))
+        assert code == 0
+        assert "wrote profile" in out
+        self._check(path, [1, 2, 3])
+
+
+class TestCheckpointFlags:
+    def test_checkpoint_then_resume(self, run, tmp_path):
+        expr = "x0 & x1 | x2 & x3"
+        ckpt = tmp_path / "ckpt"
+        _, reference, _ = run("optimize", "--expr", expr)
+        code, out, _ = run("optimize", "--expr", expr,
+                           "--checkpoint-dir", str(ckpt))
+        assert code == 0 and out == reference
+        assert list(ckpt.glob("ckpt_*_layer_*.json"))
+        code, out, _ = run("optimize", "--expr", expr,
+                           "--checkpoint-dir", str(ckpt), "--resume")
+        assert code == 0 and out == reference
+
+    def test_resume_requires_checkpoint_dir(self, run):
+        code, _, err = run("optimize", "--expr", "x0 & x1", "--resume")
+        assert code == 2
+        assert "--resume requires --checkpoint-dir" in err
