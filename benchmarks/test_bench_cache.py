@@ -1,0 +1,113 @@
+"""Result-cache hit rate: canonicalization vs re-solving.
+
+A corpus of random functions is expanded with permuted and complemented
+variants (the orbits the canonical fingerprint is supposed to collapse)
+and solved twice through one :class:`~repro.core.ResultCache`.  Measured:
+the cold/warm hit rates, the kernel work (``table_cells``) a warm pass
+avoids entirely, and the wall-clock ratio — recorded to
+``BENCH_cache_hit_rate.json`` next to this file (the CI uploads it as an
+artifact alongside ``BENCH_checkpoint_roundtrip.json``).
+"""
+
+import json
+import pathlib
+import time
+
+from conftest import print_table
+
+from repro.analysis.counters import OperationCounters
+from repro.core import ReductionRule, ResultCache, run_fs
+from repro.truth_table import TruthTable
+
+
+def _variant_corpus(n, base_count, seed0=100):
+    """base functions + a permuted and a complemented copy of each."""
+    corpus = []
+    for i in range(base_count):
+        base = TruthTable.random(n, seed=seed0 + i)
+        permuted = base.permute(list(range(1, n)) + [0])
+        complemented = TruthTable(n, 1 - base.values)
+        corpus += [(f"f{i}", base), (f"f{i}/perm", permuted),
+                   (f"f{i}/compl", complemented)]
+    return corpus
+
+
+def _solve_all(corpus, cache):
+    counters = OperationCounters()
+    start = time.perf_counter()
+    results = [run_fs(table, rule=ReductionRule.BDD, cache=cache,
+                      counters=counters)
+               for _, table in corpus]
+    elapsed = time.perf_counter() - start
+    return results, counters, elapsed
+
+
+def test_cache_hit_rate_artifact(tmp_path):
+    n, base_count = 7, 4
+    corpus = _variant_corpus(n, base_count)
+
+    reference = {label: run_fs(table, rule=ReductionRule.BDD)
+                 for label, table in corpus}
+
+    cache = ResultCache(directory=str(tmp_path / "cache"))
+    cold_results, cold_counters, cold_seconds = _solve_all(corpus, cache)
+    cold_stats = cache.stats.snapshot()
+
+    # Cold pass: one miss per orbit, every variant a canonical hit.
+    assert cold_stats["misses"] == base_count
+    assert cold_stats["hits"] == len(corpus) - base_count
+
+    warm_results, warm_counters, warm_seconds = _solve_all(corpus, cache)
+    warm_stats = cache.stats.snapshot()
+    assert warm_stats["misses"] == cold_stats["misses"]
+    assert warm_stats["hits"] == cold_stats["hits"] + len(corpus)
+    # A warm pass does no kernel work at all.
+    assert warm_counters.table_cells == 0
+    assert warm_counters.compactions == 0
+
+    for (label, _), cold, warm in zip(corpus, cold_results, warm_results):
+        assert cold.mincost == reference[label].mincost
+        assert warm.mincost == reference[label].mincost
+        assert warm.order == cold.order
+
+    record = {
+        "benchmark": "cache_hit_rate",
+        "n": n,
+        "corpus_size": len(corpus),
+        "unique_functions": base_count,
+        "cold": {
+            "hits": cold_stats["hits"],
+            "misses": cold_stats["misses"],
+            "hit_rate": cold_stats["hits"] / len(corpus),
+            "table_cells": cold_counters.table_cells,
+            "seconds": cold_seconds,
+        },
+        "warm": {
+            "hits": warm_stats["hits"] - cold_stats["hits"],
+            "misses": 0,
+            "hit_rate": 1.0,
+            "table_cells": warm_counters.table_cells,
+            "seconds": warm_seconds,
+        },
+    }
+    out_path = pathlib.Path(__file__).parent / "BENCH_cache_hit_rate.json"
+    with open(out_path, "w") as handle:
+        json.dump(record, handle, indent=2)
+    with open(out_path) as handle:
+        assert json.load(handle)["warm"]["table_cells"] == 0
+
+    print_table(
+        f"Result-cache hit rate (n={n}, {len(corpus)} tables, "
+        f"{base_count} orbits)",
+        ["pass", "hits", "misses", "hit rate", "table cells", "seconds"],
+        [
+            ("cold", record["cold"]["hits"], record["cold"]["misses"],
+             f"{record['cold']['hit_rate']:.2f}",
+             record["cold"]["table_cells"],
+             f"{cold_seconds:.4f}"),
+            ("warm", record["warm"]["hits"], 0, "1.00", 0,
+             f"{warm_seconds:.4f}"),
+        ],
+    )
+    print(f"warm pass avoids {cold_counters.table_cells} table cells "
+          f"({cold_seconds / max(warm_seconds, 1e-9):.1f}x faster)")

@@ -68,6 +68,15 @@ def _make_profiler(args: argparse.Namespace) -> Optional[Profiler]:
     return None
 
 
+def _make_cache(args: argparse.Namespace):
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        from .core.cache import ResultCache
+
+        return ResultCache(directory=cache_dir)
+    return None
+
+
 def _engine_kwargs(args: argparse.Namespace) -> dict:
     """Execution options shared by every DP-running subcommand."""
     kwargs = dict(engine=args.engine, jobs=args.jobs)
@@ -78,19 +87,31 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
     if checkpoint_dir:
         kwargs["checkpoint_dir"] = checkpoint_dir
         kwargs["resume"] = resume
+    cache = _make_cache(args)
+    if cache is not None:
+        kwargs["cache"] = cache
     return kwargs
 
 
-def _emit_profile(args: argparse.Namespace, profiler: Optional[Profiler]) -> None:
+def _emit_profile(args: argparse.Namespace, profiler: Optional[Profiler],
+                  cache=None) -> None:
     if profiler is not None:
+        if cache is not None:
+            profiler.note_cache_stats(cache.stats.snapshot())
         profiler.write(args.profile)
         print(f"wrote profile    : {args.profile} "
               f"(peak frontier {profiler.peak_frontier_bytes} bytes, "
               f"{profiler.total_layer_seconds:.3f}s in {len(profiler.layers)} "
               f"layers)")
+        if profiler.cache:
+            print(f"cache            : {profiler.cache.get('hits', 0)} hits / "
+                  f"{profiler.cache.get('misses', 0)} misses "
+                  f"({profiler.cache.get('stores', 0)} stored)")
 
 
 def _run_optimize(args: argparse.Namespace) -> int:
+    if args.batch:
+        return _run_optimize_batch(args)
     if args.all_outputs:
         return _run_optimize_shared(args)
     table = _load_table(args)
@@ -100,10 +121,11 @@ def _run_optimize(args: argparse.Namespace) -> int:
             f"{table.n} variables is beyond the exact DP's practical range"
         )
     profiler = _make_profiler(args)
+    engine_kwargs = _engine_kwargs(args)
 
     if args.algorithm == "fs":
         result = run_fs(table, rule=rule, profiler=profiler,
-                        **_engine_kwargs(args))
+                        **engine_kwargs)
     elif args.algorithm == "astar":
         result = astar_optimal_ordering(table, rule=rule)
     elif args.algorithm == "optobdd":
@@ -119,14 +141,16 @@ def _run_optimize(args: argparse.Namespace) -> int:
     print(f"optimal ordering : {' '.join(f'x{v}' for v in result.order)}")
     print(f"internal nodes   : {result.mincost}")
     print(f"total size       : {result.size}")
+    if getattr(result, "from_cache", False):
+        print("served from      : result cache")
     natural = list(range(table.n))
     if rule is ReductionRule.BDD:
         print(f"natural ordering : {obdd_size(table, natural)} total nodes")
-    _emit_profile(args, profiler)
+    _emit_profile(args, profiler, engine_kwargs.get("cache"))
     if args.dot or args.json:
         fs_result = (
             result if args.algorithm == "fs"
-            else run_fs(table, rule=rule, **_engine_kwargs(args))
+            else run_fs(table, rule=rule, **engine_kwargs)
         )
         diagram = reconstruct_minimum_diagram(table, fs_result)
         if args.dot:
@@ -159,18 +183,108 @@ def _run_optimize_shared(args: argparse.Namespace) -> int:
             f"{tables[0].n} variables is beyond the exact DP's practical range"
         )
     profiler = _make_profiler(args)
+    engine_kwargs = _engine_kwargs(args)
     result = run_fs_shared(tables, rule=rule, profiler=profiler,
-                           **_engine_kwargs(args))
+                           **engine_kwargs)
     print(f"outputs          : {len(tables)} ({' '.join(labels)})")
     print(f"variables        : {tables[0].n}")
     print(f"rule             : {rule.value}")
     print(f"shared ordering  : {' '.join(f'x{v}' for v in result.order)}")
     print(f"shared nodes     : {result.mincost}")
+    if getattr(result, "from_cache", False):
+        print("served from      : result cache")
     separate = sum(
-        _run_fs(t, rule=rule, **_engine_kwargs(args)).mincost
+        _run_fs(t, rule=rule, **engine_kwargs).mincost
         for t in tables
     )
     print(f"separate optima  : {separate} (sum over outputs)")
+    _emit_profile(args, profiler, engine_kwargs.get("cache"))
+    return 0
+
+
+def _table_from_entry(entry: dict, base_dir: str, index: int) -> TruthTable:
+    """One batch-manifest entry -> a truth table (same loaders as the
+    single-function flags; relative paths resolve against the manifest)."""
+    import os
+
+    def resolve(path: str) -> str:
+        return path if os.path.isabs(path) else os.path.join(base_dir, path)
+
+    sources = [k for k in ("expr", "pla", "blif", "dimacs") if entry.get(k)]
+    if len(sources) != 1:
+        raise ReproError(
+            f"batch entry {index} needs exactly one of expr/pla/blif/dimacs"
+        )
+    if entry.get("expr"):
+        return to_truth_table(parse(entry["expr"]), entry.get("num_vars"))
+    if entry.get("pla"):
+        return read_pla(resolve(entry["pla"])).truth_table()
+    if entry.get("blif"):
+        return read_blif(resolve(entry["blif"])).truth_table(
+            entry.get("output")
+        )
+    with open(resolve(entry["dimacs"])) as handle:
+        return to_truth_table(CNF.from_dimacs(handle.read()),
+                              entry.get("num_vars"))
+
+
+def _run_optimize_batch(args: argparse.Namespace) -> int:
+    import json as json_module
+    import os
+
+    from .core.cache import ResultCache, optimize_many
+
+    rule = ReductionRule(args.rule)
+    with open(args.batch) as handle:
+        manifest = json_module.load(handle)
+    entries = manifest.get("tables") if isinstance(manifest, dict) else manifest
+    if not isinstance(entries, list) or not entries:
+        raise ReproError(
+            f"batch manifest {args.batch} must contain a non-empty list "
+            "of tables (either a top-level list or under a 'tables' key)"
+        )
+    base_dir = os.path.dirname(os.path.abspath(args.batch))
+    tables = []
+    labels = []
+    for index, entry in enumerate(entries):
+        if isinstance(entry, str):
+            entry = {"expr": entry}
+        if not isinstance(entry, dict):
+            raise ReproError(
+                f"batch entry {index} must be an object or an expression "
+                "string"
+            )
+        table = _table_from_entry(entry, base_dir, index)
+        if table.n > 16:
+            raise ReproError(
+                f"batch entry {index} has {table.n} variables, beyond the "
+                "exact DP's practical range"
+            )
+        tables.append(table)
+        labels.append(str(
+            entry.get("label") or entry.get("expr") or entry.get("pla")
+            or entry.get("blif") or entry.get("dimacs") or f"table{index}"
+        ))
+
+    profiler = _make_profiler(args)
+    cache = _make_cache(args)
+    if cache is None:
+        cache = ResultCache()
+    outcome = optimize_many(
+        tables, rule=rule, cache=cache, engine=args.engine, jobs=args.jobs,
+        profiler=profiler,
+    )
+    name_width = max(len(label) for label in labels)
+    for label, result in zip(labels, outcome.results):
+        suffix = "  [cached]" if result.from_cache else ""
+        order = " ".join(f"x{v}" for v in result.order)
+        print(f"{label:<{name_width}}  n={result.n}  "
+              f"nodes={result.mincost}  {order}{suffix}")
+    print(f"batch            : {len(tables)} tables, "
+          f"{outcome.unique} unique functions")
+    print(f"cache            : {outcome.stats['hits']} hits / "
+          f"{outcome.stats['misses']} misses "
+          f"({outcome.stats['stores']} stored)")
     _emit_profile(args, profiler)
     return 0
 
@@ -277,6 +391,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "this run's configuration; corrupt or "
                             "mismatched checkpoints are an error, never "
                             "silently skipped)")
+        p.add_argument("--cache-dir",
+                       help="persist optimizer results into this directory, "
+                            "keyed by a canonical function fingerprint "
+                            "(support-reduced, permutation- and complement-"
+                            "canonicalized), so repeated runs — including "
+                            "renamed/complemented variants of the same "
+                            "function — return instantly with zero kernel "
+                            "work")
 
     def add_profile_option(p: argparse.ArgumentParser) -> None:
         p.add_argument("--profile",
@@ -299,6 +421,13 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--all-outputs", action="store_true",
                      help="optimize one shared ordering for every output "
                           "of a multi-output BLIF/PLA")
+    opt.add_argument("--batch",
+                     help="optimize every table in a JSON manifest (a list "
+                          "of {expr|pla|blif|dimacs, label?, num_vars?, "
+                          "output?} entries, or bare expression strings); "
+                          "tables are deduplicated by canonical fingerprint "
+                          "before the distinct ones fan out over --jobs, and "
+                          "duplicates resolve through the result cache")
     opt.set_defaults(handler=_run_optimize)
 
     tables = sub.add_parser("tables", help="re-derive the Appendix C tables")

@@ -16,6 +16,16 @@
 
 from .astar import AStarResult, astar_optimal_ordering
 from .bruteforce import BruteForceResult, brute_force_operation_bound, brute_force_optimal
+from .cache import (
+    BatchOutcome,
+    CacheStats,
+    ResultCache,
+    TableKey,
+    optimize_many,
+    raw_table_key,
+    state_key,
+    table_key,
+)
 from .checkpoint import (
     CheckpointStore,
     FaultInjector,
@@ -77,6 +87,14 @@ from .spec import FSState, ReductionRule
 __all__ = [
     "astar_optimal_ordering",
     "AStarResult",
+    "BatchOutcome",
+    "CacheStats",
+    "ResultCache",
+    "TableKey",
+    "optimize_many",
+    "raw_table_key",
+    "state_key",
+    "table_key",
     "exact_window",
     "window_sweep",
     "WindowResult",

@@ -1,0 +1,525 @@
+"""Canonical result cache + batch front-end for the FS-family optimizers.
+
+Optimal-ordering workloads are full of repeats: the same function
+resubmitted across CLI runs, dozens of near-identical tables in one
+batch, and — the classic observation behind every production BDD
+package's computed-table — the *same function up to variable renaming
+and output complement* appearing under many disguises.  The dynamic
+programs themselves are ``O*(3^n)``; recognizing a repeat costs
+``O*(2^n)`` (a canonicalization pass over the truth table).  This module
+caches final answers behind that recognition step:
+
+* **Canonical fingerprints.**  :func:`table_key` support-reduces the
+  table(s) (:meth:`TruthTable.support`), canonicalizes under variable
+  permutation — and under output complement for single-output Boolean
+  tables when the rule is complement-invariant (BDD, CBDD) — and hashes
+  the canonical bytes together with the kernel-independent problem spec
+  ``(spec, rule, arity, outputs, dtype)``.  Two tables in the same orbit
+  collide on purpose; the :class:`~repro.truth_table.CanonicalForm`
+  witness maps the stored ordering back through the canonicalizing
+  permutation on every hit.
+* **Two storage layers.**  :class:`ResultCache` keeps a bounded
+  in-memory LRU and, when given a directory, an on-disk store of
+  fingerprint-scoped, checksummed, atomically-written JSON files (the
+  same envelope the sweep checkpoints use, via
+  :func:`repro.core.checkpoint.write_checked_json`).  A damaged disk
+  entry raises :class:`~repro.errors.CacheError` naming the file — never
+  a silent wrong answer.
+* **Wired into every DP entry point.**  ``EngineConfig(cache=...)`` (or
+  the ``cache=`` keyword of :func:`~repro.core.fs.run_fs`,
+  :func:`~repro.core.shared.run_fs_shared`,
+  :func:`~repro.core.constrained.run_fs_constrained`) makes the
+  optimizers consult the cache first; :func:`repro.core.fs_star
+  .run_fs_star` and :func:`repro.core.window.window_sweep` read it off
+  their :class:`~repro.core.engine.EngineConfig`.  FS* entries store the
+  optimal placement chain and rematerialize the state by replaying it
+  (``O(|J|)`` compactions instead of an ``O*(3^{|J|})`` sweep — the same
+  Lemma 3 argument as the engine's mincost-only frontier).
+* **Batch front-end.**  :func:`optimize_many` (CLI:
+  ``optimize --batch manifest.json``) fingerprints a list of tables,
+  dedupes them *before* solving, fans the distinct misses over a worker
+  pool, and resolves every duplicate through the cache — each duplicate
+  costs zero kernel invocations.
+
+Determinism guarantee: a cache hit returns an ordering in the same orbit
+as — and with cost bit-identical to — what an uncached run returns, and
+its stored width profile is exact (Lemma 3: level widths depend only on
+the variable sets, which the canonical permutation transports).  When a
+function has several optimal orderings, the hit reproduces the one the
+*first* (cache-filling) run found, translated to the caller's variable
+names; repeated hits are bit-identical to each other.  Cache entries are
+kernel-independent (both kernels are exact), so results computed with
+``engine="python"`` serve hits to ``engine="numpy"`` callers and vice
+versa.  Invalidation is structural: the fingerprint embeds a format
+version, the rule, and the canonical bytes, so a format bump or any
+change to the function simply misses.
+
+Observability: lookups/stores/canonicalization run under the
+``cache_lookup`` / ``cache_store`` / ``canonicalize`` profiler phases,
+hit/miss totals land in the ``cache_hits`` / ``cache_misses`` extra
+counters, and :meth:`Profiler.note_cache_stats` embeds the final tallies
+in ``--profile`` output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.counters import OperationCounters
+from ..errors import CacheError
+from ..observability import Profiler
+from ..truth_table import CanonicalForm, TruthTable, canonicalize_tables
+from .checkpoint import read_checked_json, write_checked_json
+from .spec import FSState, ReductionRule
+
+CACHE_FORMAT = 1
+"""Bumping this invalidates every existing fingerprint (entries simply
+stop matching; stale files are inert)."""
+
+
+def _phase(profiler: Optional[Profiler], name: str):
+    return profiler.phase(name) if profiler is not None else nullcontext()
+
+
+def _digest(header: Dict[str, Any], blob: bytes) -> str:
+    """Stable fingerprint of a problem: canonical JSON header + payload."""
+    h = hashlib.sha256()
+    h.update(json.dumps(header, sort_keys=True, separators=(",", ":")).encode())
+    h.update(b"\x00")
+    h.update(blob)
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# keys
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableKey:
+    """A canonical cache key plus the witness to translate hits back."""
+
+    fingerprint: str
+    form: CanonicalForm
+    rule: ReductionRule
+    spec: str
+
+    @property
+    def canonical_n(self) -> int:
+        return len(self.form.support)
+
+
+def table_key(
+    tables: Sequence[TruthTable],
+    rule: ReductionRule,
+    spec: str = "fs",
+    profiler: Optional[Profiler] = None,
+) -> TableKey:
+    """Canonical fingerprint of an (output vector, rule) problem.
+
+    Support reduction is applied for every cofactor-merging rule (a
+    variable no output depends on costs zero nodes at any position); for
+    ZDDs it is disabled — zero-suppression prices dead variables.
+    Output complement competes for the canonical form only for
+    single-output Boolean tables under complement-invariant rules (BDD,
+    CBDD): complementing preserves every level width there, but changes
+    ZDD widths and cross-output sharing in forests.
+    """
+    reduce_support = rule is not ReductionRule.ZDD
+    allow_complement = (
+        len(tables) == 1
+        and rule in (ReductionRule.BDD, ReductionRule.CBDD)
+    )
+    with _phase(profiler, "canonicalize"):
+        form = canonicalize_tables(
+            tables,
+            reduce_support=reduce_support,
+            allow_complement=allow_complement,
+        )
+    header = {
+        "format": CACHE_FORMAT,
+        "spec": spec,
+        "rule": rule.value,
+        "arity": len(form.support),
+        "outputs": len(tables),
+        "dtype": str(form.tables[0].values.dtype),
+    }
+    return TableKey(
+        fingerprint=_digest(header, form.canonical_bytes()),
+        form=form,
+        rule=rule,
+        spec=spec,
+    )
+
+
+def raw_table_key(
+    tables: Sequence[TruthTable],
+    rule: ReductionRule,
+    spec: str,
+    extra: Dict[str, Any],
+) -> str:
+    """Fingerprint *without* canonicalization, for entry points whose
+    extra state is not permutation-invariant (precedence constraints, a
+    window sweep's initial ordering)."""
+    header = {
+        "format": CACHE_FORMAT,
+        "spec": spec,
+        "rule": rule.value,
+        "n": tables[0].n,
+        "outputs": len(tables),
+        "dtype": str(tables[0].values.dtype),
+        "extra": extra,
+    }
+    blob = b"".join(t.values.tobytes() for t in tables)
+    return _digest(header, blob)
+
+
+def state_key(base: FSState, j_mask: int, rule: ReductionRule) -> str:
+    """Fingerprint of an FS* solve: the base quadruple's table bytes plus
+    the placement bookkeeping and the set ``J`` to optimize.  The DP's
+    behavior depends on the base only through these (cell values encode
+    the subfunction partition), so equal keys yield bit-identical
+    placement chains."""
+    header = {
+        "format": CACHE_FORMAT,
+        "spec": "fs_star",
+        "rule": rule.value,
+        "n": base.n,
+        "mask": base.mask,
+        "j_mask": j_mask,
+        "num_roots": base.num_roots,
+        "num_terminals": base.num_terminals,
+        "dtype": str(base.table.dtype),
+    }
+    return _digest(header, np.ascontiguousarray(base.table).tobytes())
+
+
+# ----------------------------------------------------------------------
+# the cache
+# ----------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Running tallies of one :class:`ResultCache` (all layers)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+    """Hits served from the on-disk store (a subset of ``hits``)."""
+
+    evictions: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """Fingerprint-keyed store of optimizer results (LRU + optional disk).
+
+    Thread-safe: :func:`optimize_many` fans misses over a worker pool
+    that shares one instance.  Payloads are plain JSON-able dicts so the
+    memory and disk layers hold the same bytes; the disk layer
+    write-throughs every store and backfills the LRU on a disk hit.
+    """
+
+    def __init__(
+        self, maxsize: int = 4096, directory: Optional[str] = None
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.directory = directory
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    def entry_path(self, fingerprint: str) -> str:
+        if self.directory is None:
+            raise ValueError("cache has no on-disk store")
+        return os.path.join(self.directory, f"cache_{fingerprint}.json")
+
+    def lookup(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``fingerprint``, or ``None`` (a miss).
+
+        A hit found only on disk re-validates checksum and fingerprint
+        (raising :class:`~repro.errors.CacheError` on damage) and
+        backfills the memory layer.
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(fingerprint)
+                self.stats.hits += 1
+                return entry
+        if self.directory is not None:
+            path = self.entry_path(fingerprint)
+            if os.path.exists(path):
+                payload = read_checked_json(path, error=CacheError)
+                if payload.get("fingerprint") != fingerprint:
+                    raise CacheError(
+                        f"cache entry {path} carries fingerprint "
+                        f"{payload.get('fingerprint')!r}, expected "
+                        f"{fingerprint!r}; refusing to use it"
+                    )
+                entry = payload["entry"]
+                with self._lock:
+                    self._insert(fingerprint, entry)
+                    self.stats.disk_hits += 1
+                    self.stats.hits += 1
+                return entry
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def store(self, fingerprint: str, entry: Dict[str, Any]) -> None:
+        """Insert (write-through when a directory is configured)."""
+        with self._lock:
+            self._insert(fingerprint, entry)
+            self.stats.stores += 1
+        if self.directory is not None:
+            write_checked_json(
+                self.entry_path(fingerprint),
+                {"fingerprint": fingerprint, "entry": entry},
+            )
+
+    def _insert(self, fingerprint: str, entry: Dict[str, Any]) -> None:
+        self._entries[fingerprint] = entry
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+# ----------------------------------------------------------------------
+# ordering entries (run_fs / run_fs_shared)
+# ----------------------------------------------------------------------
+
+def _mark(counters: Optional[OperationCounters], hit: bool) -> None:
+    if counters is not None:
+        counters.add_extra("cache_hits" if hit else "cache_misses")
+
+
+def lookup_ordering(
+    cache: ResultCache,
+    key: TableKey,
+    counters: Optional[OperationCounters] = None,
+    profiler: Optional[Profiler] = None,
+) -> Optional[Tuple[int, List[int], List[int]]]:
+    """Consult the cache for an optimal-ordering entry.
+
+    Returns ``(mincost, order, widths)`` translated back to the caller's
+    variables — non-support variables appended at the bottom with width
+    0 — or ``None`` on a miss.  A stored payload inconsistent with the
+    key raises :class:`~repro.errors.CacheError`.
+    """
+    with _phase(profiler, "cache_lookup"):
+        entry = cache.lookup(key.fingerprint)
+    _mark(counters, entry is not None)
+    if entry is None:
+        return None
+    m = key.canonical_n
+    canonical_order = [int(v) for v in entry.get("order", ())]
+    widths = [int(w) for w in entry.get("widths", ())]
+    mincost = int(entry.get("mincost", -1))
+    if (
+        entry.get("kind") != "ordering"
+        or sorted(canonical_order) != list(range(m))
+        or len(widths) != m
+        or sum(widths) != mincost
+    ):
+        raise CacheError(
+            f"cache entry {key.fingerprint} holds a malformed ordering "
+            f"payload for a {m}-variable canonical function"
+        )
+    order = key.form.map_order_back(canonical_order)
+    full_widths = widths + [0] * (key.form.n - m)
+    return mincost, order, full_widths
+
+
+def store_ordering(
+    cache: ResultCache,
+    key: TableKey,
+    order: Sequence[int],
+    widths: Sequence[int],
+    counters: Optional[OperationCounters] = None,
+    profiler: Optional[Profiler] = None,
+) -> None:
+    """Record a freshly computed optimal ordering under its canonical key.
+
+    ``order``/``widths`` are in the caller's variables; the canonical
+    projection drops non-support levels (which must carry zero width)
+    and renames through the canonicalizing permutation.
+    """
+    support_set = set(key.form.support)
+    canonical_of = {
+        key.form.support[kept]: c for c, kept in enumerate(key.form.perm)
+    }
+    canonical_order: List[int] = []
+    canonical_widths: List[int] = []
+    for v, w in zip(order, widths):
+        if v in support_set:
+            canonical_order.append(canonical_of[v])
+            canonical_widths.append(int(w))
+        elif w != 0:
+            raise CacheError(
+                f"non-support variable {v} reported width {w}; refusing "
+                "to cache an inconsistent profile"
+            )
+    entry = {
+        "kind": "ordering",
+        "order": canonical_order,
+        "widths": canonical_widths,
+        "mincost": int(sum(canonical_widths)),
+    }
+    with _phase(profiler, "cache_store"):
+        cache.store(key.fingerprint, entry)
+    if counters is not None:
+        counters.add_extra("cache_stores")
+
+
+def chain_result_maps(
+    order: Sequence[int], widths: Sequence[int]
+) -> Tuple[Dict[int, int], Dict[int, int], Dict[Tuple[int, int], int]]:
+    """DP-table views along one chain (for cache-hit ``FSResult``\\ s).
+
+    A hit knows the optimal chain and its level widths but not the full
+    ``MINCOST_I`` lattice; these maps cover exactly the chain's subsets,
+    which is what diagram reconstruction and width queries need.  (Full
+    enumeration of *all* optimal orderings still requires an uncached
+    run.)
+    """
+    mincost_by_subset: Dict[int, int] = {0: 0}
+    best_last: Dict[int, int] = {}
+    level_cost_by_choice: Dict[Tuple[int, int], int] = {}
+    mask = 0
+    total = 0
+    for var, width in zip(reversed(list(order)), reversed(list(widths))):
+        level_cost_by_choice[(mask, var)] = int(width)
+        mask |= 1 << var
+        total += int(width)
+        mincost_by_subset[mask] = total
+        best_last[mask] = var
+    return mincost_by_subset, best_last, level_cost_by_choice
+
+
+def chain_widths(
+    order: Sequence[int],
+    level_cost_by_choice: Dict[Tuple[int, int], int],
+    n: int,
+) -> List[int]:
+    """Width profile of ``order`` read off a sweep's recorded level costs."""
+    below = (1 << n) - 1
+    widths: List[int] = []
+    for var in order:
+        below &= ~(1 << var)
+        widths.append(int(level_cost_by_choice[(below, var)]))
+    return widths
+
+
+# ----------------------------------------------------------------------
+# batch front-end
+# ----------------------------------------------------------------------
+
+@dataclass
+class BatchOutcome:
+    """What :func:`optimize_many` returns."""
+
+    results: List["FSResultLike"]
+    """One :class:`~repro.core.fs.FSResult` per input table, in order."""
+
+    unique: int
+    """Distinct canonical fingerprints among the inputs."""
+
+    stats: Dict[str, int] = field(default_factory=dict)
+    """The cache's :meth:`CacheStats.snapshot` after the batch."""
+
+
+FSResultLike = Any  # FSResult; the real type lives in .fs (imported lazily)
+
+
+def optimize_many(
+    tables: Sequence[TruthTable],
+    rule: ReductionRule = ReductionRule.BDD,
+    cache: Optional[ResultCache] = None,
+    engine: str = "numpy",
+    jobs: int = 1,
+    profiler: Optional[Profiler] = None,
+) -> BatchOutcome:
+    """Optimize a batch of tables with canonical deduplication.
+
+    The batch is fingerprinted first; only the *first* table of each
+    orbit is solved (misses fan over a ``jobs``-wide worker pool, each
+    worker running the sequential engine), and every other member
+    resolves through the cache — zero kernel invocations, with the
+    stored ordering translated through that member's own canonicalizing
+    permutation.  Results are deterministic and independent of ``jobs``.
+    """
+    from .fs import run_fs  # deferred: fs imports this module
+
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if cache is None:
+        cache = ResultCache()
+    tables = list(tables)
+    keys = [table_key([t], rule, spec="fs", profiler=profiler) for t in tables]
+    first_of: Dict[str, int] = {}
+    for index, key in enumerate(keys):
+        first_of.setdefault(key.fingerprint, index)
+    representatives = sorted(first_of.values())
+
+    results: List[Optional[FSResultLike]] = [None] * len(tables)
+
+    def solve(index: int) -> FSResultLike:
+        return run_fs(
+            tables[index], rule=rule, engine=engine, cache=cache
+        )
+
+    if jobs > 1 and len(representatives) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=min(jobs, len(representatives))
+        ) as pool:
+            futures = {i: pool.submit(solve, i) for i in representatives}
+            for i in representatives:
+                results[i] = futures[i].result()
+    else:
+        for i in representatives:
+            results[i] = solve(i)
+    for i in range(len(tables)):
+        if results[i] is None:
+            results[i] = solve(i)  # a duplicate: resolves as a cache hit
+
+    if profiler is not None:
+        profiler.note_cache_stats(cache.stats.snapshot())
+    return BatchOutcome(
+        results=[r for r in results if r is not None],
+        unique=len(first_of),
+        stats=cache.stats.snapshot(),
+    )

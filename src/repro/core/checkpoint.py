@@ -69,6 +69,70 @@ _COUNTER_FIELDS = (
 )
 
 
+# ----------------------------------------------------------------------
+# checked-JSON envelope (shared with repro.core.cache)
+# ----------------------------------------------------------------------
+
+def write_checked_json(path: str, payload: Dict[str, Any]) -> str:
+    """Atomically write ``payload`` wrapped in a checksummed envelope.
+
+    The document layout (``format``/``checksum``/``payload``) is the one
+    every durable artifact of this package uses: sweep checkpoints and
+    result-cache entries alike.  The payload checksum is computed over the
+    canonical (sorted, separator-free) JSON encoding, and the file lands
+    via a temp-name ``os.replace`` so a crash mid-write never leaves a
+    torn file under the real name.
+    """
+    payload_json = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    document = {
+        "format": FORMAT_VERSION,
+        "checksum": hashlib.sha256(payload_json.encode()).hexdigest(),
+        "payload": payload,
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(document, handle, sort_keys=True)
+    os.replace(tmp, path)
+    return path
+
+
+def read_checked_json(path: str, error: type = CheckpointError) -> Dict[str, Any]:
+    """Read and validate a :func:`write_checked_json` document.
+
+    Returns the payload.  A missing/unreadable file, invalid JSON, a
+    missing envelope, or a checksum mismatch raises ``error`` (default
+    :class:`~repro.errors.CheckpointError`; the result cache passes
+    :class:`~repro.errors.CacheError`) naming the offending file.
+    """
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise error(f"{path} could not be read: {exc}") from exc
+    try:
+        document = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise error(
+            f"{path} is truncated or not valid JSON ({exc})"
+        ) from None
+    if (
+        not isinstance(document, dict)
+        or "payload" not in document
+        or "checksum" not in document
+    ):
+        raise error(f"{path} is missing its payload/checksum envelope")
+    payload = document["payload"]
+    payload_json = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(payload_json.encode()).hexdigest()
+    if digest != document["checksum"]:
+        raise error(
+            f"{path} failed its content checksum "
+            f"(expected {document['checksum']}, computed {digest}); "
+            "the file is corrupt"
+        )
+    return payload
+
+
 @dataclass
 class Skeleton:
     """Mincost-only frontier entry: enough to rebuild the state on demand.
@@ -351,18 +415,7 @@ class CheckpointStore:
             "subsets_processed": subsets_processed,
             "counter_delta": dict(sorted(counter_delta.items())),
         }
-        payload_json = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        document = {
-            "format": FORMAT_VERSION,
-            "checksum": hashlib.sha256(payload_json.encode()).hexdigest(),
-            "payload": payload,
-        }
-        path = self.layer_path(k)
-        tmp = path + ".tmp"
-        with open(tmp, "w") as handle:
-            json.dump(document, handle, sort_keys=True)
-        os.replace(tmp, path)
-        return path
+        return write_checked_json(self.layer_path(k), payload)
 
     def load_latest(self, upto: int) -> Optional[RestoredSweep]:
         """Restore the newest finished layer ``<= upto``, or ``None``.
@@ -378,37 +431,7 @@ class CheckpointStore:
 
     def load_file(self, path: str) -> RestoredSweep:
         """Load and fully validate one checkpoint file."""
-        try:
-            with open(path, "rb") as handle:
-                raw = handle.read()
-        except OSError as error:
-            raise CheckpointError(
-                f"checkpoint {path} could not be read: {error}"
-            ) from error
-        try:
-            document = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise CheckpointError(
-                f"checkpoint {path} is truncated or not valid JSON "
-                f"({error})"
-            ) from None
-        if (
-            not isinstance(document, dict)
-            or "payload" not in document
-            or "checksum" not in document
-        ):
-            raise CheckpointError(
-                f"checkpoint {path} is missing its payload/checksum envelope"
-            )
-        payload = document["payload"]
-        payload_json = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        digest = hashlib.sha256(payload_json.encode()).hexdigest()
-        if digest != document["checksum"]:
-            raise CheckpointError(
-                f"checkpoint {path} failed its content checksum "
-                f"(expected {document['checksum']}, computed {digest}); "
-                "the file is corrupt"
-            )
+        payload = read_checked_json(path, error=CheckpointError)
         found = payload.get("fingerprint", {})
         if found != self.fingerprint:
             differing = sorted(

@@ -16,14 +16,16 @@ exactly that shrinkage.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .._bitops import bits_of
 from ..analysis.counters import OperationCounters
-from ..errors import DimensionError, OrderingError
+from ..errors import CacheError, DimensionError, OrderingError
 from ..observability import Profiler
 from ..truth_table import TruthTable
+from .cache import ResultCache, chain_widths, raw_table_key
 from .checkpoint import FaultInjector
 from .engine import EngineConfig, FrontierPolicy, run_layered_sweep
 from .fs import initial_state
@@ -87,6 +89,9 @@ class ConstrainedResult:
 
     counters: OperationCounters = field(default_factory=OperationCounters)
 
+    from_cache: bool = False
+    """True when served by a :class:`~repro.core.cache.ResultCache` hit."""
+
     @property
     def size(self) -> int:
         return self.mincost + self.num_terminals
@@ -104,6 +109,7 @@ def run_fs_constrained(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     fault_injector: Optional[FaultInjector] = None,
+    cache: Optional[ResultCache] = None,
 ) -> ConstrainedResult:
     """Optimal ordering among those honoring every ``(earlier, later)``
     pair (``earlier`` is read closer to the root).
@@ -128,8 +134,42 @@ def run_fs_constrained(
     config = EngineConfig(
         kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler,
         checkpoint_dir=checkpoint_dir, resume=resume,
-        fault_injector=fault_injector, checkpoint_tag=tag,
+        fault_injector=fault_injector, checkpoint_tag=tag, cache=cache,
     )
+    # Precedence constraints are tied to concrete variable names, so the
+    # key hashes the raw table plus the closure — no canonicalization.
+    fingerprint = None
+    if cache is not None:
+        fingerprint = raw_table_key(
+            [table], rule, spec="constrained",
+            extra={"after": [f"{m:x}" for m in after]},
+        )
+        with (profiler.phase("cache_lookup") if profiler is not None
+              else nullcontext()):
+            entry = cache.lookup(fingerprint)
+        counters.add_extra("cache_hits" if entry is not None
+                           else "cache_misses")
+        if entry is not None:
+            order = tuple(int(v) for v in entry.get("order", ()))
+            if (
+                entry.get("kind") != "constrained"
+                or sorted(order) != list(range(n))
+            ):
+                raise CacheError(
+                    f"cache entry {fingerprint} holds a malformed "
+                    "constrained-ordering payload"
+                )
+            return ConstrainedResult(
+                n=n,
+                rule=rule,
+                order=order,
+                pi=tuple(reversed(order)),
+                mincost=int(entry["mincost"]),
+                num_terminals=int(entry["num_terminals"]),
+                feasible_subsets=int(entry["feasible_subsets"]),
+                counters=counters,
+                from_cache=True,
+            )
     outcome = run_layered_sweep(
         initial_state(table, rule),
         full,
@@ -140,10 +180,25 @@ def run_fs_constrained(
     )
     final = outcome.frontier[full]
     pi = final.pi
+    order = tuple(reversed(pi))
+    if cache is not None and fingerprint is not None:
+        with (profiler.phase("cache_store") if profiler is not None
+              else nullcontext()):
+            cache.store(fingerprint, {
+                "kind": "constrained",
+                "order": list(order),
+                "widths": chain_widths(
+                    order, outcome.level_cost_by_choice, n
+                ),
+                "mincost": final.mincost,
+                "num_terminals": final.num_terminals,
+                "feasible_subsets": outcome.subsets_processed,
+            })
+        counters.add_extra("cache_stores")
     return ConstrainedResult(
         n=n,
         rule=rule,
-        order=tuple(reversed(pi)),
+        order=order,
         pi=pi,
         mincost=final.mincost,
         num_terminals=final.num_terminals,

@@ -48,7 +48,9 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union,
+)
 
 from .._bitops import bits_of, popcount, subsets_of_size
 from ..analysis.counters import OperationCounters
@@ -56,6 +58,9 @@ from ..errors import DimensionError, OrderingError
 from ..observability import Profiler, frontier_nbytes
 from .checkpoint import CheckpointStore, FaultInjector, Skeleton, sweep_fingerprint
 from .spec import FSState, ReductionRule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache imports spec)
+    from .cache import ResultCache
 
 KernelFn = Callable[..., FSState]
 """Signature of a compaction kernel:
@@ -164,6 +169,13 @@ class EngineConfig:
     """Extra entry-point state folded into the checkpoint fingerprint
     (e.g. the constrained DP's precedence closure, which the engine only
     sees as an opaque ``subset_filter`` callable)."""
+
+    cache: Optional["ResultCache"] = None
+    """Canonical result cache (see :mod:`repro.core.cache`).  The engine
+    itself never reads it — caching happens at the DP entry points, which
+    know how to key their problem — but carrying it here lets entry
+    points that only receive a config (``window_sweep``, ``fs_star``)
+    consult the same cache as their callers."""
 
     def __post_init__(self) -> None:
         self.frontier = coerce_policy(self.frontier)

@@ -26,6 +26,14 @@ from ..analysis.counters import OperationCounters
 from ..errors import DimensionError
 from ..observability import Profiler
 from ..truth_table import TruthTable
+from .cache import (
+    ResultCache,
+    chain_result_maps,
+    chain_widths,
+    lookup_ordering,
+    store_ordering,
+    table_key,
+)
 from .checkpoint import FaultInjector
 from .engine import EngineConfig, FrontierPolicy, get_kernel, run_layered_sweep
 from .spec import FSState, ReductionRule
@@ -124,10 +132,20 @@ class FSResult:
 
     counters: OperationCounters = field(default_factory=OperationCounters)
 
+    from_cache: bool = False
+    """True when this result was served by a :class:`ResultCache` hit.
+    The ordering, ``mincost`` and width profile are exact, but the DP
+    maps (``mincost_by_subset`` etc.) cover only the optimal chain's
+    subsets — :meth:`optimal_orderings` needs an uncached run."""
+
     @property
     def size(self) -> int:
         """Total node count including terminals (Figure 1 convention)."""
         return self.mincost + self.num_terminals
+
+    def width_profile(self) -> List[int]:
+        """Level width at each position of :attr:`order` (top to bottom)."""
+        return chain_widths(self.order, self.level_cost_by_choice, self.n)
 
     def optimal_orderings(self) -> List[Tuple[int, ...]]:
         """Enumerate *all* optimal orderings (read-first to read-last).
@@ -135,7 +153,13 @@ class FSResult:
         Walks every minimizing choice of the DP, not just the recorded
         ``best_last`` chain.  The count can be exponential for highly
         symmetric functions; intended for analysis on small ``n``.
+        Unavailable on cache-hit results, whose maps cover one chain only.
         """
+        if self.from_cache:
+            raise ValueError(
+                "optimal_orderings() needs the full DP table; this result "
+                "came from a cache hit — rerun with cache=None to enumerate"
+            )
         full = (1 << self.n) - 1
         pis: List[Tuple[int, ...]] = []
 
@@ -172,6 +196,7 @@ def run_fs(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     fault_injector: Optional["FaultInjector"] = None,
+    cache: Optional[ResultCache] = None,
 ) -> FSResult:
     """Run the full Friedman-Supowit dynamic program.
 
@@ -210,6 +235,13 @@ def run_fs(
         an uninterrupted one.
     fault_injector:
         Test hook simulating crashes/corruption at layer boundaries.
+    cache:
+        Optional :class:`repro.core.cache.ResultCache`.  The table is
+        canonicalized (support reduction, permutation, complement where
+        sound for ``rule``) and the cache consulted before any kernel
+        work; a hit returns in ``O*(2^n)`` with *zero* compactions, the
+        stored ordering mapped back through the canonicalizing
+        permutation.  A miss runs the DP and stores the answer.
 
     Returns
     -------
@@ -224,8 +256,28 @@ def run_fs(
     config = EngineConfig(
         kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler,
         checkpoint_dir=checkpoint_dir, resume=resume,
-        fault_injector=fault_injector,
+        fault_injector=fault_injector, cache=cache,
     )
+    key = None
+    if cache is not None:
+        key = table_key([table], rule, spec="fs", profiler=profiler)
+        hit = lookup_ordering(cache, key, counters, profiler)
+        if hit is not None:
+            mincost, order, widths = hit
+            maps = chain_result_maps(order, widths)
+            return FSResult(
+                n=n,
+                rule=rule,
+                order=tuple(order),
+                pi=tuple(reversed(order)),
+                mincost=mincost,
+                num_terminals=len(terminal_values(table, rule)),
+                mincost_by_subset=maps[0],
+                best_last=maps[1],
+                level_cost_by_choice=maps[2],
+                counters=counters,
+                from_cache=True,
+            )
     if profiler is not None:
         with profiler.phase("prepare"):
             state0 = initial_state(table, rule)
@@ -248,6 +300,15 @@ def run_fs(
     final = outcome.frontier[full]
     pi = final.pi
     order = tuple(reversed(pi))
+    if cache is not None and key is not None:
+        store_ordering(
+            cache,
+            key,
+            order,
+            chain_widths(order, outcome.level_cost_by_choice, n),
+            counters,
+            profiler,
+        )
     return FSResult(
         n=n,
         rule=rule,

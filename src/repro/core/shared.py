@@ -25,6 +25,14 @@ from ..analysis.counters import OperationCounters
 from ..errors import DimensionError, OrderingError
 from ..observability import Profiler
 from ..truth_table import TruthTable
+from .cache import (
+    ResultCache,
+    chain_result_maps,
+    chain_widths,
+    lookup_ordering,
+    store_ordering,
+    table_key,
+)
 from .checkpoint import FaultInjector
 from .compaction import compact
 from .engine import EngineConfig, FrontierPolicy, run_layered_sweep
@@ -98,6 +106,7 @@ def run_fs_shared(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     fault_injector: Optional[FaultInjector] = None,
+    cache: Optional[ResultCache] = None,
 ) -> FSResult:
     """Exact optimal ordering for the shared diagram of several outputs.
 
@@ -105,8 +114,12 @@ def run_fs_shared(
     sizes; returns an :class:`~repro.core.fs.FSResult` whose ``mincost``
     counts the *shared* internal nodes of the whole forest.  Execution
     options (``engine``/``jobs``/``frontier``/``profiler``/
-    ``checkpoint_dir``/``resume``) match :func:`repro.core.fs.run_fs` —
-    the same engine runs both DPs.
+    ``checkpoint_dir``/``resume``/``cache``) match
+    :func:`repro.core.fs.run_fs` — the same engine runs both DPs, and a
+    single-output shared call shares cache entries with ``run_fs`` (the
+    problems are identical).  Multi-output keys canonicalize under
+    variable permutation only; output complement changes cross-output
+    sharing, so it never competes for the canonical form here.
     """
     state0 = initial_state_shared(tables, rule)
     if counters is None:
@@ -114,14 +127,44 @@ def run_fs_shared(
     config = EngineConfig(
         kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler,
         checkpoint_dir=checkpoint_dir, resume=resume,
-        fault_injector=fault_injector,
+        fault_injector=fault_injector, cache=cache,
     )
+    key = None
+    if cache is not None:
+        key = table_key(list(tables), rule, spec="fs", profiler=profiler)
+        hit = lookup_ordering(cache, key, counters, profiler)
+        if hit is not None:
+            mincost, order, widths = hit
+            maps = chain_result_maps(order, widths)
+            return FSResult(
+                n=state0.n,
+                rule=rule,
+                order=tuple(order),
+                pi=tuple(reversed(order)),
+                mincost=mincost,
+                num_terminals=state0.num_terminals,
+                mincost_by_subset=maps[0],
+                best_last=maps[1],
+                level_cost_by_choice=maps[2],
+                counters=counters,
+                from_cache=True,
+            )
     full = (1 << state0.n) - 1
     outcome = run_layered_sweep(
         state0, full, rule=rule, counters=counters, config=config
     )
     final = outcome.frontier[full]
     pi = final.pi
+    if cache is not None and key is not None:
+        order = tuple(reversed(pi))
+        store_ordering(
+            cache,
+            key,
+            order,
+            chain_widths(order, outcome.level_cost_by_choice, state0.n),
+            counters,
+            profiler,
+        )
     return FSResult(
         n=state0.n,
         rule=rule,

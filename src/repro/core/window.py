@@ -23,8 +23,9 @@ from typing import List, Optional, Sequence, Tuple
 
 from .._bitops import mask_of
 from ..analysis.counters import OperationCounters
-from ..errors import OrderingError
+from ..errors import CacheError, OrderingError
 from ..truth_table import TruthTable
+from .cache import raw_table_key
 from .engine import EngineConfig, get_kernel
 from .fs import initial_state
 from .fs_star import run_fs_star
@@ -42,6 +43,10 @@ class WindowResult:
     improved: bool
     windows_solved: int
     counters: OperationCounters
+
+    from_cache: bool = False
+    """True when a full sweep was served by a
+    :class:`~repro.core.cache.ResultCache` hit (zero kernel work)."""
 
 
 def _chain_cost(
@@ -66,13 +71,22 @@ def exact_window(
     rule: ReductionRule = ReductionRule.BDD,
     counters: Optional[OperationCounters] = None,
     config: Optional[EngineConfig] = None,
+    known_size: Optional[int] = None,
 ) -> WindowResult:
     """Optimally rearrange ``order[start:start+width]``, rest frozen.
 
     Returns the improved ordering (identical outside the window) and the
     new total internal-node count.  ``config`` selects the execution
-    engine options (kernel, jobs, profiler) for the FS* solve and the
-    frozen-chain costing alike.
+    engine options (kernel, jobs, profiler, cache) for the FS* solve and
+    the frozen-chain costing alike.
+
+    Costing is incremental: the current window block is replayed on the
+    frozen bottom chain (its cost read off the same base state the FS*
+    solve extends), and by Lemma 3 every level outside the window keeps
+    its width, so the new total is ``old_total - old_block + new_block``.
+    Pass ``known_size`` (the current order's total, e.g. from a previous
+    window in a sweep) to skip the one remaining full-chain costing of
+    the levels above the window.
     """
     n = table.n
     order = list(order)
@@ -88,26 +102,51 @@ def exact_window(
     below = order[start + width:]  # read later = placed at the bottom
     window = order[start:start + width]
 
-    # Build the frozen bottom chain, then optimize the window with FS*.
+    # Build the frozen bottom chain once; both the current block's cost
+    # and the FS* solve extend this same state.
     kernel = get_kernel(config.kernel if config is not None else "numpy")
     state = initial_state(table, rule)
     for var in reversed(below):
         state = kernel(state, var, rule, counters)
-    cost_below = state.mincost
-    final = run_fs_star(state, mask_of(window), rule, counters, config=config)
+    base_below = state
+
+    current = base_below
+    for var in reversed(window):
+        current = kernel(current, var, rule, counters)
+    old_block = current.mincost - base_below.mincost
+
+    final = run_fs_star(
+        base_below, mask_of(window), rule, counters, config=config
+    )
+    new_block = final.mincost - base_below.mincost
     optimized_window = list(reversed(final.pi[len(below):]))
 
+    # The FS* block is optimal over all arrangements of the window
+    # (Lemma 8), the current arrangement included.  A regression here
+    # means a broken kernel or a corrupted state, and silently keeping
+    # the "optimized" order would propagate it — so this is a real
+    # runtime check, not an assert stripped under ``python -O``.
+    if new_block > old_block:
+        raise OrderingError(
+            f"exact window [{start}, {start + width}) regressed: optimized "
+            f"block costs {new_block} nodes vs {old_block} for the current "
+            "arrangement, violating the Lemma 8 optimality invariant"
+        )
+
+    if known_size is None:
+        # Cost the levels above the window by continuing the current
+        # chain (Lemma 3: those widths are the same for both orders).
+        top = current
+        for var in reversed(order[:start]):
+            top = kernel(top, var, rule, counters)
+        known_size = top.mincost
+    new_size = known_size - old_block + new_block
+
     new_order = order[:start] + optimized_window + order[start + width:]
-    # Widths above the window depend only on the variable sets (Lemma 3),
-    # so re-costing the full chain is exact; the window block itself is
-    # guaranteed optimal by Lemma 8.
-    old_size = _chain_cost(table, order, rule, counters, config)
-    new_size = _chain_cost(table, new_order, rule, counters, config)
-    assert new_size <= old_size, "exact window must never regress"
     return WindowResult(
         order=tuple(new_order),
         size=new_size,
-        improved=new_size < old_size,
+        improved=new_block < old_block,
         windows_solved=1,
         counters=counters,
     )
@@ -122,7 +161,17 @@ def window_sweep(
     counters: Optional[OperationCounters] = None,
     config: Optional[EngineConfig] = None,
 ) -> WindowResult:
-    """Slide the exact window across all positions until no improvement."""
+    """Slide the exact window across all positions until no improvement.
+
+    The initial order's size is measured once, and every window solve is
+    costed incrementally against it (``known_size`` threading into
+    :func:`exact_window`), so the sweep never re-costs a full chain it
+    already knows.  A :class:`~repro.core.cache.ResultCache` on
+    ``config`` short-circuits whole repeated sweeps — keyed on the raw
+    table, rule, width, round budget and initial order, since a window
+    sweep's trajectory is tied to concrete variable positions — and also
+    accelerates the inner FS* solves via their own chain entries.
+    """
     n = table.n
     if width < 2:
         raise OrderingError("window width must be at least 2")
@@ -130,28 +179,71 @@ def window_sweep(
     order = list(initial_order) if initial_order is not None else list(range(n))
     if counters is None:
         counters = OperationCounters()
-    size = _chain_cost(table, order, rule, counters, config)
+
+    cache = config.cache if config is not None else None
+    fingerprint = None
+    if cache is not None:
+        fingerprint = raw_table_key(
+            [table], rule, spec="window_sweep",
+            extra={
+                "width": width,
+                "max_rounds": max_rounds,
+                "initial_order": list(order),
+            },
+        )
+        entry = cache.lookup(fingerprint)
+        counters.add_extra("cache_hits" if entry is not None
+                           else "cache_misses")
+        if entry is not None:
+            cached_order = tuple(int(v) for v in entry.get("order", ()))
+            if (
+                entry.get("kind") != "window_sweep"
+                or sorted(cached_order) != list(range(n))
+            ):
+                raise CacheError(
+                    f"cache entry {fingerprint} holds a malformed "
+                    "window-sweep payload"
+                )
+            return WindowResult(
+                order=cached_order,
+                size=int(entry["size"]),
+                improved=bool(entry["improved"]),
+                windows_solved=int(entry["windows_solved"]),
+                counters=counters,
+                from_cache=True,
+            )
+
+    initial_size = _chain_cost(table, order, rule, counters, config)
+    size = initial_size
     solved = 0
 
     for _ in range(max_rounds):
-        improved = False
+        round_improved = False
         for start in range(n - width + 1):
             result = exact_window(
-                table, order, start, width, rule, counters, config
+                table, order, start, width, rule, counters, config,
+                known_size=size,
             )
             solved += 1
             if result.size < size:
                 size = result.size
                 order = list(result.order)
-                improved = True
-        if not improved:
+                round_improved = True
+        if not round_improved:
             break
+    if cache is not None and fingerprint is not None:
+        cache.store(fingerprint, {
+            "kind": "window_sweep",
+            "order": list(order),
+            "size": size,
+            "improved": size < initial_size,
+            "windows_solved": solved,
+        })
+        counters.add_extra("cache_stores")
     return WindowResult(
         order=tuple(order),
         size=size,
-        improved=solved > 0
-        and size < _chain_cost(table, initial_order or list(range(n)), rule,
-                               None, config),
+        improved=size < initial_size,
         windows_solved=solved,
         counters=counters,
     )

@@ -32,3 +32,10 @@ class CheckpointError(ReproError):
     corrupted (checksum mismatch), or it was written by a sweep with a
     different configuration (fingerprint mismatch).  The message always
     names the offending file; a resume never proceeds silently past one."""
+
+
+class CacheError(ReproError):
+    """A result-cache entry was unusable: a damaged on-disk file (checksum
+    or fingerprint mismatch) or a stored payload inconsistent with the
+    function it claims to describe.  Like checkpoints, cache entries are
+    never silently skipped — the message names the offending file or key."""

@@ -102,8 +102,23 @@ def parse_pla(text: str) -> PLA:
                 raise ParseError(f"unknown PLA directive {keyword!r}")
             continue
         fields = line.split()
-        if len(fields) == 1 and num_outputs == 1:
-            # single-field form: trailing output digit glued on
+        if len(fields) == 1:
+            # Single-field form: the trailing output digit is glued onto
+            # the input part.  It is only unambiguous once ``.o 1`` has
+            # been seen — before that the trailing character could as
+            # well be an input column, so guessing would mis-split the
+            # cube.
+            if num_outputs is None:
+                raise ParseError(
+                    f"cube line {line!r} appears before the .o declaration; "
+                    "single-field cubes are only valid after '.o 1'"
+                )
+            if num_outputs != 1:
+                raise ParseError(
+                    f"single-field cube line {line!r} in a "
+                    f"{num_outputs}-output PLA; separate the output part "
+                    "with whitespace"
+                )
             input_part, output_part = fields[0][:-1], fields[0][-1]
         elif len(fields) == 2:
             input_part, output_part = fields
@@ -113,6 +128,16 @@ def parse_pla(text: str) -> PLA:
 
     if num_inputs is None or num_outputs is None:
         raise ParseError("PLA is missing .i or .o declarations")
+    if input_labels is not None and len(input_labels) != num_inputs:
+        raise ParseError(
+            f".ilb names {len(input_labels)} inputs, but .i declares "
+            f"{num_inputs}"
+        )
+    if output_labels is not None and len(output_labels) != num_outputs:
+        raise ParseError(
+            f".ob names {len(output_labels)} outputs, but .o declares "
+            f"{num_outputs}"
+        )
     for input_part, output_part in cubes:
         if len(input_part) != num_inputs or any(c not in "01-" for c in input_part):
             raise ParseError(f"bad input cube {input_part!r}")

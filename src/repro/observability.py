@@ -101,6 +101,10 @@ class Profiler:
     meta: Dict[str, Any] = field(default_factory=dict)
     """Free-form run description (n, rule, kernel, jobs, ...)."""
 
+    cache: Dict[str, int] = field(default_factory=dict)
+    """Result-cache tallies (hits/misses/stores/disk_hits/evictions); see
+    :meth:`note_cache_stats`.  Empty when no cache was attached."""
+
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Time a named phase; repeated phases accumulate."""
@@ -133,6 +137,17 @@ class Profiler:
         if frontier_bytes > self.peak_frontier_bytes:
             self.peak_frontier_bytes = frontier_bytes
 
+    def note_cache_stats(self, stats: Mapping[str, int]) -> None:
+        """Embed a :class:`repro.core.cache.CacheStats` snapshot.
+
+        Called once at the end of a cached run (the CLI and
+        ``optimize_many`` do this); repeated calls overwrite, so the
+        recorded numbers are the cache's final tallies.  The wall-clock
+        cost of cache work is already visible under the ``canonicalize``
+        / ``cache_lookup`` / ``cache_store`` phases.
+        """
+        self.cache = dict(stats)
+
     @property
     def total_layer_seconds(self) -> float:
         return sum(layer.wall_seconds for layer in self.layers)
@@ -141,6 +156,7 @@ class Profiler:
         return {
             "meta": dict(self.meta),
             "phases": dict(self.phases),
+            "cache": dict(self.cache),
             "peak_frontier_bytes": self.peak_frontier_bytes,
             "total_layer_seconds": self.total_layer_seconds,
             "layers": [layer.to_dict() for layer in self.layers],

@@ -16,6 +16,8 @@ the paper's Remark 2.
 
 from __future__ import annotations
 
+import itertools
+from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -190,6 +192,23 @@ class TruthTable:
         axes = [n - 1 - perm[n - 1 - k] for k in range(n)]
         return TruthTable(n, np.ascontiguousarray(np.transpose(cube, axes)).reshape(-1))
 
+    def canonical_form(
+        self,
+        reduce_support: bool = True,
+        allow_complement: bool = True,
+        max_perms: int = 5040,
+    ) -> "CanonicalForm":
+        """Canonical representative of this table's NPN-style orbit.
+
+        See :func:`canonicalize_tables`; this is the single-output
+        convenience wrapper used by the result cache."""
+        return canonicalize_tables(
+            [self],
+            reduce_support=reduce_support,
+            allow_complement=allow_complement,
+            max_perms=max_perms,
+        )
+
     # ------------------------------------------------------------------
     # Boolean algebra (elementwise; tables must be Boolean & same n)
     # ------------------------------------------------------------------
@@ -230,6 +249,204 @@ class TruthTable:
             body = "".join(str(int(v)) for v in self.values)
             return f"TruthTable(n={self.n}, values={body!r})"
         return f"TruthTable(n={self.n}, 2^{self.n} values)"
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """A table (or output vector) normalized under variable renaming.
+
+    ``tables`` is the canonical representative: support-reduced (when
+    requested), variables renamed by the canonical permutation, outputs
+    possibly complemented.  Two inputs in the same orbit — equal up to a
+    permutation of their variables (and, when ``allow_complement`` was
+    set, a joint output complement) — produce byte-identical canonical
+    tables whenever ``exact`` is True, which is what lets the result
+    cache recognize renamed resubmissions of the same function.
+
+    The remaining fields are the witness needed to translate answers
+    about the canonical function back to the original variables:
+    canonical variable ``c`` is original variable ``support[perm[c]]``.
+    """
+
+    n: int
+    """Arity of the *original* tables."""
+
+    tables: Tuple[TruthTable, ...]
+    """Canonical support-reduced, renamed (and possibly complemented)
+    representative, one table per output."""
+
+    support: Tuple[int, ...]
+    """Original indices of the kept variables, ascending.  Equal to
+    ``range(n)`` when support reduction was disabled or unnecessary."""
+
+    perm: Tuple[int, ...]
+    """Canonical variable ``c`` is kept variable ``perm[c]`` (an index
+    into ``support``)."""
+
+    complemented: bool
+    """True when the canonical representative is the complement of the
+    input (only ever set for Boolean tables with ``allow_complement``)."""
+
+    exact: bool
+    """True when the permutation search was exhaustive over the
+    signature-compatible candidates; False when ``max_perms`` forced the
+    deterministic fallback (still a valid, stable form — it just may
+    fail to coincide for some highly symmetric orbit members)."""
+
+    def canonical_bytes(self) -> bytes:
+        """Concatenated cell bytes of the canonical tables (the payload
+        the result cache hashes)."""
+        return b"".join(t.values.tobytes() for t in self.tables)
+
+    def map_order_back(self, canonical_order: Sequence[int]) -> List[int]:
+        """Translate an ordering of the canonical variables into an
+        ordering of all ``n`` original variables.
+
+        Variables outside the support are appended at the bottom (read
+        last) in ascending order; under a cofactor-merging reduction rule
+        they contribute zero nodes at any position, so the translated
+        ordering achieves exactly the canonical ordering's cost."""
+        mapped = [self.support[self.perm[c]] for c in canonical_order]
+        leftover = sorted(set(range(self.n)) - set(self.support))
+        return mapped + leftover
+
+    def map_order_forward(self, order: Sequence[int]) -> List[int]:
+        """Project an ordering of the original variables onto canonical
+        variables (dropping non-support variables)."""
+        canonical_of = {
+            self.support[kept]: c for c, kept in enumerate(self.perm)
+        }
+        return [canonical_of[v] for v in order if v in canonical_of]
+
+
+def _variable_signature(tables: Sequence[TruthTable], var: int) -> tuple:
+    """Permutation-invariant signature of one variable.
+
+    Components (per output, in output order): the variable's boundary
+    size (how many assignments flip the value — its unnormalized
+    influence) and the sorted cell multisets of both cofactors.  Each
+    component is invariant under any renaming of the *other* variables,
+    so signatures survive jointly renaming the whole vector — the
+    property that makes signature-sorted permutations an orbit-invariant
+    candidate set."""
+    parts = []
+    for t in tables:
+        c0 = t.cofactor(var, 0).values
+        c1 = t.cofactor(var, 1).values
+        parts.append((
+            int(np.count_nonzero(c0 != c1)),
+            np.sort(c0).tobytes(),
+            np.sort(c1).tobytes(),
+        ))
+    return tuple(parts)
+
+
+def _min_permutation(
+    tables: Sequence[TruthTable], max_perms: int
+) -> Tuple[Tuple[int, ...], bytes, bool]:
+    """Lexicographically minimal joint renaming of ``tables``.
+
+    Variables are grouped by signature; candidate permutations arrange
+    the groups in signature order and try every arrangement inside each
+    group (the minimum over that set is the same for every orbit member).
+    When the candidate count exceeds ``max_perms`` the within-group order
+    falls back to the stable original indexing — deterministic, but no
+    longer orbit-invariant (flagged via the returned ``exact``)."""
+    m = tables[0].n
+    signatures = [_variable_signature(tables, v) for v in range(m)]
+    groups: dict = {}
+    for v in range(m):
+        groups.setdefault(signatures[v], []).append(v)
+    ordered_groups = [groups[sig] for sig in sorted(groups)]
+
+    total = 1
+    for group in ordered_groups:
+        for i in range(2, len(group) + 1):
+            total *= i
+        if total > max_perms:
+            break
+    exact = total <= max_perms
+    if exact:
+        candidates = (
+            tuple(itertools.chain.from_iterable(arrangement))
+            for arrangement in itertools.product(
+                *(itertools.permutations(g) for g in ordered_groups)
+            )
+        )
+    else:
+        candidates = iter(
+            [tuple(itertools.chain.from_iterable(ordered_groups))]
+        )
+
+    best_perm: Optional[Tuple[int, ...]] = None
+    best_bytes: Optional[bytes] = None
+    for perm in candidates:
+        blob = b"".join(t.permute(perm).values.tobytes() for t in tables)
+        if best_bytes is None or blob < best_bytes:
+            best_bytes = blob
+            best_perm = perm
+    assert best_perm is not None and best_bytes is not None
+    return best_perm, best_bytes, exact
+
+
+def canonicalize_tables(
+    tables: Sequence[TruthTable],
+    reduce_support: bool = True,
+    allow_complement: bool = True,
+    max_perms: int = 5040,
+) -> CanonicalForm:
+    """Joint canonical form of an output vector under variable renaming.
+
+    All tables must share one arity; a single permutation is applied to
+    every output.  With ``reduce_support`` the variables no output
+    depends on are cofactored away first (sound for cofactor-merging
+    rules — BDD/MTBDD/CBDD — where such variables cost zero nodes at any
+    position; keep it off for ZDDs).  With ``allow_complement`` (Boolean
+    tables only) the complemented vector competes for the canonical
+    representative too — sound whenever complementing preserves level
+    widths (BDD and CBDD; off for ZDDs and for shared forests, where
+    complementing one output changes cross-output sharing).
+    """
+    if not tables:
+        raise DimensionError("need at least one table to canonicalize")
+    n = tables[0].n
+    if any(t.n != n for t in tables):
+        raise DimensionError("all outputs must share the same variables")
+
+    if reduce_support:
+        union = sorted(
+            {v for t in tables for v in t.support()}
+        )
+        dead = [(v, 0) for v in range(n) if v not in union]
+        reduced = (
+            [t.restrict(dead) for t in tables] if dead else list(tables)
+        )
+        support = tuple(union)
+    else:
+        reduced = list(tables)
+        support = tuple(range(n))
+
+    variants = [(reduced, False)]
+    if allow_complement and all(t.is_boolean() for t in tables):
+        variants.append(([~t for t in reduced], True))
+
+    best: Optional[Tuple[bytes, bool, Tuple[int, ...], List[TruthTable], bool]] = None
+    for candidate, complemented in variants:
+        perm, blob, exact = _min_permutation(candidate, max_perms)
+        key = (blob, complemented)
+        if best is None or key < (best[0], best[1]):
+            best = (blob, complemented, perm,
+                    [t.permute(perm) for t in candidate], exact)
+    assert best is not None
+    _, complemented, perm, canonical, exact = best
+    return CanonicalForm(
+        n=n,
+        tables=tuple(canonical),
+        support=support,
+        perm=perm,
+        complemented=complemented,
+        exact=exact,
+    )
 
 
 def count_subfunctions(table: TruthTable, order: Sequence[int]) -> List[int]:

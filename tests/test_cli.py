@@ -267,3 +267,123 @@ class TestCheckpointFlags:
         code, _, err = run("optimize", "--expr", "x0 & x1", "--resume")
         assert code == 2
         assert "--resume requires --checkpoint-dir" in err
+
+
+class TestCacheFlags:
+    def test_cache_dir_warm_run_served_from_cache(self, run, tmp_path):
+        expr = "x0 & x1 | x2 & x3"
+        cache_dir = str(tmp_path / "cache")
+        code, cold, _ = run("optimize", "--expr", expr,
+                            "--cache-dir", cache_dir)
+        assert code == 0
+        assert "served from" not in cold
+        code, warm, _ = run("optimize", "--expr", expr,
+                            "--cache-dir", cache_dir)
+        assert code == 0
+        assert "served from      : result cache" in warm
+        assert "internal nodes   : 4" in warm
+
+    def test_cache_stats_in_profile(self, run, tmp_path):
+        expr = "x0 ^ x1 ^ x2"
+        cache_dir = str(tmp_path / "cache")
+        profile = tmp_path / "prof.json"
+        run("optimize", "--expr", expr, "--cache-dir", cache_dir)
+        code, out, _ = run("optimize", "--expr", expr,
+                           "--cache-dir", cache_dir,
+                           "--profile", str(profile))
+        assert code == 0
+        assert "cache            : 1 hits / 0 misses" in out
+        payload = json.loads(profile.read_text())
+        assert payload["cache"]["hits"] == 1
+        assert payload["cache"]["misses"] == 0
+        assert "cache_lookup" in payload["phases"]
+
+    def test_renamed_variant_hits_across_runs(self, run, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run("optimize", "--expr", "x0 & x1 | x2", "--cache-dir", cache_dir)
+        code, out, _ = run("optimize", "--expr", "x1 & x2 | x0",
+                           "--cache-dir", cache_dir)
+        assert code == 0
+        assert "served from      : result cache" in out
+
+
+class TestBatchOptimize:
+    def manifest(self, tmp_path, entries):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(entries))
+        return str(path)
+
+    def test_batch_dedupes_variants(self, run, tmp_path):
+        path = self.manifest(tmp_path, {"tables": [
+            {"expr": "x0 & x1 | x2", "label": "f"},
+            {"expr": "x1 & x2 | x0", "label": "f-renamed"},
+            {"expr": "~(x0 & x1 | x2)", "label": "f-complemented"},
+            {"expr": "x0 ^ x1", "label": "xor"},
+        ]})
+        code, out, _ = run("optimize", "--batch", path)
+        assert code == 0
+        assert "batch            : 4 tables, 2 unique functions" in out
+        assert out.count("[cached]") == 2
+        assert "f-renamed" in out
+
+    def test_batch_bare_expression_strings(self, run, tmp_path):
+        path = self.manifest(tmp_path, ["x0 & x1", "x0 | x1"])
+        code, out, _ = run("optimize", "--batch", path)
+        assert code == 0
+        assert "2 tables, 2 unique functions" in out
+
+    def test_batch_jobs_deterministic(self, run, tmp_path):
+        entries = {"tables": [
+            {"expr": "x0 & x1 | x2 & x3", "label": "a"},
+            {"expr": "x0 ^ x1 ^ x2", "label": "b"},
+            {"expr": "x2 & x3 | x0 & x1", "label": "c"},
+        ]}
+        path = self.manifest(tmp_path, entries)
+        _, sequential, _ = run("optimize", "--batch", path)
+        _, parallel, _ = run("optimize", "--batch", path, "--jobs", "3")
+        assert sequential == parallel
+
+    def test_batch_with_cache_dir_is_warm_second_time(self, run, tmp_path):
+        path = self.manifest(tmp_path, ["x0 & x1 | x2"])
+        cache_dir = str(tmp_path / "cache")
+        run("optimize", "--batch", path, "--cache-dir", cache_dir)
+        code, out, _ = run("optimize", "--batch", path,
+                           "--cache-dir", cache_dir)
+        assert code == 0
+        assert "[cached]" in out
+        assert "1 hits / 0 misses" in out
+
+    def test_batch_pla_entry(self, run, tmp_path):
+        tt = TruthTable.from_callable(3, lambda a, b, c: a & b | c)
+        (tmp_path / "f.pla").write_text(write_pla(tt))
+        path = self.manifest(tmp_path, [{"pla": "f.pla", "label": "from-pla"}])
+        code, out, _ = run("optimize", "--batch", path)
+        assert code == 0
+        assert "from-pla" in out
+
+    def test_batch_rejects_empty_manifest(self, run, tmp_path):
+        path = self.manifest(tmp_path, [])
+        code, _, err = run("optimize", "--batch", path)
+        assert code == 2
+        assert "non-empty" in err
+
+    def test_batch_rejects_ambiguous_entry(self, run, tmp_path):
+        path = self.manifest(tmp_path, [{"expr": "x0", "pla": "f.pla"}])
+        code, _, err = run("optimize", "--batch", path)
+        assert code == 2
+        assert "exactly one" in err
+
+    def test_shared_optimize_warm_marker(self, run, tmp_path):
+        pla = tmp_path / "two.pla"
+        pla.write_text(".i 3\n.o 2\n1-1 10\n011 01\n110 11\n.e\n")
+        cache_dir = str(tmp_path / "cache")
+        code, cold, _ = run("optimize", "--pla", str(pla), "--all-outputs",
+                            "--cache-dir", cache_dir)
+        assert code == 0
+        assert "served from" not in cold
+        code, warm, _ = run("optimize", "--pla", str(pla), "--all-outputs",
+                            "--cache-dir", cache_dir)
+        assert code == 0
+        assert "served from      : result cache" in warm
+        assert [l for l in warm.splitlines() if "shared nodes" in l] == \
+               [l for l in cold.splitlines() if "shared nodes" in l]

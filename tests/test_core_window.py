@@ -111,3 +111,103 @@ class TestWindowSweep:
         tt = TruthTable.random(4, seed=19)
         result = window_sweep(tt, width=2)
         assert result.windows_solved >= 3  # one round minimum
+
+
+class TestInvariantSurvivesOptimization:
+    """The never-regress guard must be a real check, not an ``assert``
+    stripped by ``python -O`` (the historical bug this class pins)."""
+
+    def test_regression_raises_ordering_error(self, monkeypatch):
+        # Force FS* to return a state whose block cost exceeds the
+        # current arrangement's, simulating a broken kernel.
+        import repro.core.window as window_module
+        from repro.core.fs_star import run_fs_star as real_fs_star
+
+        def inflated_fs_star(base, j_mask, rule, counters, config=None):
+            final = real_fs_star(base, j_mask, rule, counters, config=config)
+            return type(final)(
+                n=final.n, mask=final.mask, pi=final.pi,
+                mincost=final.mincost + 5, table=final.table,
+                num_terminals=final.num_terminals, nodes=final.nodes,
+                num_roots=final.num_roots,
+            )
+
+        monkeypatch.setattr(window_module, "run_fs_star", inflated_fs_star)
+        tt = TruthTable.random(4, seed=30)
+        with pytest.raises(OrderingError, match="regress"):
+            exact_window(tt, [0, 1, 2, 3], 1, 2)
+
+    def test_invariant_active_under_python_O(self, tmp_path):
+        # Run the same broken-solver scenario in a subprocess with
+        # assertions disabled; the OrderingError must still fire.
+        import os
+        import subprocess
+        import sys
+
+        script = tmp_path / "check_O.py"
+        script.write_text(
+            "import sys\n"
+            "assert not __debug__, 'must run under python -O'\n"
+            "import repro.core.window as window_module\n"
+            "from repro.core.fs_star import run_fs_star as real\n"
+            "from repro.errors import OrderingError\n"
+            "from repro.truth_table import TruthTable\n"
+            "def inflated(base, j_mask, rule, counters, config=None):\n"
+            "    final = real(base, j_mask, rule, counters, config=config)\n"
+            "    return type(final)(n=final.n, mask=final.mask,\n"
+            "        pi=final.pi, mincost=final.mincost + 5,\n"
+            "        table=final.table, num_terminals=final.num_terminals,\n"
+            "        nodes=final.nodes, num_roots=final.num_roots)\n"
+            "window_module.run_fs_star = inflated\n"
+            "tt = TruthTable.random(4, seed=30)\n"
+            "try:\n"
+            "    window_module.exact_window(tt, [0, 1, 2, 3], 1, 2)\n"
+            "except OrderingError:\n"
+            "    sys.exit(0)\n"
+            "sys.exit(1)\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-O", str(script)], env=env,
+            capture_output=True, text=True, timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+
+
+class TestIncrementalCosting:
+    def test_known_size_skips_top_recosting(self):
+        from repro.analysis.counters import OperationCounters
+
+        tt = TruthTable.random(6, seed=31)
+        order = [3, 1, 5, 0, 4, 2]
+        full = exact_window(tt, order, 1, 3)
+        current = sum(count_subfunctions(tt, order))
+        with_hint = exact_window(tt, order, 1, 3, known_size=current)
+        assert with_hint.size == full.size
+        assert with_hint.order == full.order
+        # The hinted call never touches the levels above the window, so
+        # it does strictly less kernel work.
+        c_full, c_hint = OperationCounters(), OperationCounters()
+        exact_window(tt, order, 1, 3, counters=c_full)
+        exact_window(tt, order, 1, 3, counters=c_hint, known_size=current)
+        assert c_hint.compactions < c_full.compactions
+
+    def test_sweep_measures_initial_cost_once(self):
+        # The sweep's reported size must match an independent recosting
+        # even though it never re-runs a full chain after the first.
+        tt = TruthTable.random(6, seed=32)
+        initial = [5, 4, 3, 2, 1, 0]
+        result = window_sweep(tt, initial_order=initial, width=3)
+        assert result.size == sum(count_subfunctions(tt, list(result.order)))
+        initial_cost = sum(count_subfunctions(tt, initial))
+        assert result.improved == (result.size < initial_cost)
+
+    def test_improved_false_when_initial_is_optimal(self):
+        tt = TruthTable.random(5, seed=33)
+        best = run_fs(tt)
+        result = window_sweep(tt, initial_order=list(best.order), width=5)
+        assert not result.improved
+        assert result.size == best.mincost

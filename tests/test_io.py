@@ -79,6 +79,29 @@ class TestPlaParse:
         pla = parse_pla("# header\n.i 1\n\n.o 1\n1 1  # cube\n.e\n")
         assert pla.cubes == [("1", "1")]
 
+    def test_ilb_count_must_match_i(self):
+        with pytest.raises(ParseError, match=r"\.ilb names 3 inputs"):
+            parse_pla(".i 2\n.o 1\n.ilb a b c\n11 1\n.e\n")
+
+    def test_ob_count_must_match_o(self):
+        with pytest.raises(ParseError, match=r"\.ob names 1 outputs"):
+            parse_pla(".i 2\n.o 2\n.ob f\n11 10\n.e\n")
+
+    def test_matching_label_counts_accepted(self):
+        pla = parse_pla(".i 3\n.o 2\n.ilb a b c\n.ob f g\n1-1 10\n.e\n")
+        assert pla.input_labels == ["a", "b", "c"]
+        assert pla.output_labels == ["f", "g"]
+
+    def test_glued_cube_before_o_declaration(self):
+        # The single-field form is ambiguous until '.o 1' has been seen;
+        # the parser must say so instead of a generic malformed-cube error.
+        with pytest.raises(ParseError, match=r"before the \.o declaration"):
+            parse_pla(".i 2\n111\n.o 1\n.e\n")
+
+    def test_glued_cube_in_multi_output_pla(self):
+        with pytest.raises(ParseError, match="2-output"):
+            parse_pla(".i 2\n.o 2\n1110\n.e\n")
+
 
 class TestPlaWrite:
     @pytest.mark.parametrize("seed", range(6))
