@@ -73,8 +73,35 @@ def _make_cache(args: argparse.Namespace):
     if cache_dir:
         from .core.cache import ResultCache
 
-        return ResultCache(directory=cache_dir)
+        return ResultCache(directory=cache_dir, retry=_make_io_retry(args))
     return None
+
+
+def _make_budget(args: argparse.Namespace):
+    """A :class:`~repro.core.budget.Budget` from ``--timeout`` /
+    ``--max-frontier-mb``, or ``None`` when neither was given."""
+    timeout = getattr(args, "timeout", None)
+    frontier_mb = getattr(args, "max_frontier_mb", None)
+    if timeout is None and frontier_mb is None:
+        return None
+    from .core.budget import Budget
+
+    return Budget(
+        deadline=timeout,
+        max_frontier_bytes=(
+            int(frontier_mb * 1024 * 1024) if frontier_mb is not None
+            else None
+        ),
+    )
+
+
+def _make_io_retry(args: argparse.Namespace):
+    max_retries = getattr(args, "max_retries", None)
+    if max_retries is None:
+        return None
+    from .core.checkpoint import RetryPolicy
+
+    return RetryPolicy(max_retries=max_retries)
 
 
 def _engine_kwargs(args: argparse.Namespace) -> dict:
@@ -90,6 +117,12 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
     cache = _make_cache(args)
     if cache is not None:
         kwargs["cache"] = cache
+    budget = _make_budget(args)
+    if budget is not None:
+        kwargs["budget"] = budget
+    io_retry = _make_io_retry(args)
+    if io_retry is not None:
+        kwargs["io_retry"] = io_retry
     return kwargs
 
 
@@ -122,8 +155,26 @@ def _run_optimize(args: argparse.Namespace) -> int:
         )
     profiler = _make_profiler(args)
     engine_kwargs = _engine_kwargs(args)
+    fallback_spec = getattr(args, "fallback", None)
+    if fallback_spec is not None and args.algorithm != "fs":
+        raise ReproError("--fallback requires --algorithm fs")
 
-    if args.algorithm == "fs":
+    if args.algorithm == "fs" and fallback_spec is not None:
+        from .core.budget import optimize_with_fallback, parse_ladder
+
+        result = optimize_with_fallback(
+            table,
+            budget=engine_kwargs.get("budget"),
+            ladder=parse_ladder(fallback_spec),
+            rule=rule,
+            engine=args.engine,
+            jobs=args.jobs,
+            cache=engine_kwargs.get("cache"),
+            profiler=profiler,
+            checkpoint_dir=engine_kwargs.get("checkpoint_dir"),
+            resume=bool(engine_kwargs.get("resume", False)),
+        )
+    elif args.algorithm == "fs":
         result = run_fs(table, rule=rule, profiler=profiler,
                         **engine_kwargs)
     elif args.algorithm == "astar":
@@ -138,9 +189,15 @@ def _run_optimize(args: argparse.Namespace) -> int:
     print(f"variables        : {table.n}")
     print(f"rule             : {rule.value}")
     print(f"algorithm        : {args.algorithm}")
-    print(f"optimal ordering : {' '.join(f'x{v}' for v in result.order)}")
+    exact = bool(getattr(result, "exact", True))
+    label = "optimal ordering" if exact else "best ordering   "
+    print(f"{label} : {' '.join(f'x{v}' for v in result.order)}")
     print(f"internal nodes   : {result.mincost}")
     print(f"total size       : {result.size}")
+    rung = getattr(result, "rung", None)
+    if rung is not None:
+        print(f"method           : {rung} "
+              f"({'exact' if exact else 'fallback, not certified optimal'})")
     if getattr(result, "from_cache", False):
         print("served from      : result cache")
     natural = list(range(table.n))
@@ -148,6 +205,14 @@ def _run_optimize(args: argparse.Namespace) -> int:
         print(f"natural ordering : {obdd_size(table, natural)} total nodes")
     _emit_profile(args, profiler, engine_kwargs.get("cache"))
     if args.dot or args.json:
+        if not exact:
+            raise ReproError(
+                "--dot/--json reconstruct the minimum diagram, which needs "
+                f"an exact result; the {rung!r} fallback rung produced an "
+                "uncertified ordering (raise --timeout or drop --fallback)"
+            )
+        if rung is not None:
+            result = result.result  # the fs rung's native FSResult
         fs_result = (
             result if args.algorithm == "fs"
             else run_fs(table, rule=rule, **engine_kwargs)
@@ -244,49 +309,96 @@ def _run_optimize_batch(args: argparse.Namespace) -> int:
             "of tables (either a top-level list or under a 'tables' key)"
         )
     base_dir = os.path.dirname(os.path.abspath(args.batch))
-    tables = []
-    labels = []
+    tables = []         # successfully loaded tables, in manifest order
+    loaded_at = []      # manifest index of each loaded table
+    labels = []         # one label per manifest entry
+    load_errors = {}    # manifest index -> (error type, message)
     for index, entry in enumerate(entries):
         if isinstance(entry, str):
             entry = {"expr": entry}
         if not isinstance(entry, dict):
-            raise ReproError(
+            labels.append(f"entry{index}")
+            load_errors[index] = ("ReproError", (
                 f"batch entry {index} must be an object or an expression "
                 "string"
-            )
-        table = _table_from_entry(entry, base_dir, index)
-        if table.n > 16:
-            raise ReproError(
-                f"batch entry {index} has {table.n} variables, beyond the "
-                "exact DP's practical range"
-            )
-        tables.append(table)
+            ))
+            continue
         labels.append(str(
             entry.get("label") or entry.get("expr") or entry.get("pla")
             or entry.get("blif") or entry.get("dimacs") or f"table{index}"
         ))
+        try:
+            table = _table_from_entry(entry, base_dir, index)
+            if table.n > 16:
+                raise ReproError(
+                    f"batch entry {index} has {table.n} variables, beyond "
+                    "the exact DP's practical range"
+                )
+        except Exception as exc:
+            # A malformed entry must not take the rest of the batch down;
+            # it becomes a [failed] row like any solve-time error.
+            load_errors[index] = (type(exc).__name__, str(exc))
+            continue
+        tables.append(table)
+        loaded_at.append(index)
 
     profiler = _make_profiler(args)
     cache = _make_cache(args)
     if cache is None:
-        cache = ResultCache()
+        cache = ResultCache(retry=_make_io_retry(args))
+    # --timeout is *per item* in batch mode; only the frontier cap spans
+    # the whole batch.
+    batch_budget = None
+    frontier_mb = getattr(args, "max_frontier_mb", None)
+    if frontier_mb is not None:
+        from .core.budget import Budget
+
+        batch_budget = Budget(
+            max_frontier_bytes=int(frontier_mb * 1024 * 1024)
+        )
     outcome = optimize_many(
         tables, rule=rule, cache=cache, engine=args.engine, jobs=args.jobs,
         profiler=profiler,
+        per_item_timeout=getattr(args, "timeout", None),
+        fallback=getattr(args, "fallback", None),
+        budget=batch_budget,
+        io_retry=_make_io_retry(args),
+        install_signal_handlers=True,
     )
     name_width = max(len(label) for label in labels)
-    for label, result in zip(labels, outcome.results):
-        suffix = "  [cached]" if result.from_cache else ""
+    counts = {"ok": 0, "fallback": 0, "error": 0}
+    item_at = dict(zip(loaded_at, outcome.items))
+    for index, label in enumerate(labels):
+        if index in load_errors:
+            error_type, message = load_errors[index]
+            counts["error"] += 1
+            print(f"{label:<{name_width}}  [failed] {error_type}: {message}")
+            continue
+        item = item_at[index]
+        counts[item.status] += 1
+        if item.status == "error":
+            assert item.error is not None
+            print(f"{label:<{name_width}}  [failed] "
+                  f"{item.error.error_type}: {item.error.message}")
+            continue
+        result = item.result
+        suffix = ""
+        if item.status == "fallback":
+            suffix = f"  [fallback:{result.rung}]"
+        elif result.from_cache:
+            suffix = "  [cached]"
         order = " ".join(f"x{v}" for v in result.order)
         print(f"{label:<{name_width}}  n={result.n}  "
               f"nodes={result.mincost}  {order}{suffix}")
-    print(f"batch            : {len(tables)} tables, "
+    print(f"batch            : {len(labels)} tables, "
           f"{outcome.unique} unique functions")
+    print(f"statuses         : {counts['ok']} ok / "
+          f"{counts['fallback']} fallback / {counts['error']} failed")
     print(f"cache            : {outcome.stats['hits']} hits / "
           f"{outcome.stats['misses']} misses "
           f"({outcome.stats['stores']} stored)")
     _emit_profile(args, profiler)
-    return 0
+    return 1 if counts["error"] else 0
 
 
 def _run_tables(args: argparse.Namespace) -> int:
@@ -308,6 +420,35 @@ def _run_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _governed_exact(table, args, profiler, rule=None):
+    """Run the exact DP, or the --fallback ladder when requested.
+
+    Returns an object with ``order``/``size`` plus an ``exact`` verdict
+    (always True without --fallback) and the producing ``rung``.
+    """
+    engine_kwargs = _engine_kwargs(args)
+    fallback_spec = getattr(args, "fallback", None)
+    kwargs = {} if rule is None else {"rule": rule}
+    if fallback_spec is None:
+        result = run_fs(table, profiler=profiler, **kwargs, **engine_kwargs)
+        return result, True, None
+    from .core.budget import optimize_with_fallback, parse_ladder
+
+    result = optimize_with_fallback(
+        table,
+        budget=engine_kwargs.get("budget"),
+        ladder=parse_ladder(fallback_spec),
+        engine=args.engine,
+        jobs=args.jobs,
+        cache=engine_kwargs.get("cache"),
+        profiler=profiler,
+        checkpoint_dir=engine_kwargs.get("checkpoint_dir"),
+        resume=bool(engine_kwargs.get("resume", False)),
+        **kwargs,
+    )
+    return result, result.exact, result.rung
+
+
 def _run_gap(args: argparse.Namespace) -> int:
     profiler = _make_profiler(args)
     print("pairs  vars  good(2n+2)  bad(2^(n+1))  optimal")
@@ -315,9 +456,11 @@ def _run_gap(args: argparse.Namespace) -> int:
         table = achilles_heel(pairs)
         good = obdd_size(table, achilles_good_order(pairs))
         bad = obdd_size(table, achilles_bad_order(pairs))
-        optimal = run_fs(table, profiler=profiler,
-                         **_engine_kwargs(args)).size
-        print(f"{pairs:5d}  {2 * pairs:4d}  {good:10d}  {bad:12d}  {optimal:7d}")
+        result, exact, _ = _governed_exact(table, args, profiler)
+        # '~' marks an upper bound from a fallback rung, not the optimum.
+        opt_text = f"{result.size}" if exact else f"{result.size}~"
+        print(f"{pairs:5d}  {2 * pairs:4d}  {good:10d}  {bad:12d}  "
+              f"{opt_text:>7}")
     _emit_profile(args, profiler)
     return 0
 
@@ -325,9 +468,12 @@ def _run_gap(args: argparse.Namespace) -> int:
 def _run_heuristics(args: argparse.Namespace) -> int:
     table = _load_table(args)
     profiler = _make_profiler(args)
-    exact = run_fs(table, profiler=profiler, **_engine_kwargs(args))
+    exact, is_exact, rung = _governed_exact(table, args, profiler)
+    baseline_label = (
+        "exact (FS)" if is_exact else f"{rung} (fallback, not optimal)"
+    )
     rows = [
-        ("exact (FS)", exact.size, " ".join(f"x{v}" for v in exact.order)),
+        (baseline_label, exact.size, " ".join(f"x{v}" for v in exact.order)),
     ]
     for name, result in (
         ("sift", sift(table)),
@@ -366,6 +512,18 @@ def build_parser() -> argparse.ArgumentParser:
             raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
         return value
 
+    def positive_float(text: str) -> float:
+        value = float(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+        return value
+
+    def nonnegative_int(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+        return value
+
     def add_engine_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--engine", choices=available_kernels(),
                        default="numpy",
@@ -399,6 +557,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "renamed/complemented variants of the same "
                             "function — return instantly with zero kernel "
                             "work")
+        p.add_argument("--timeout", type=positive_float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget for the DP (per table in "
+                            "--batch mode); an over-budget run stops at the "
+                            "next layer boundary with its last checkpoint "
+                            "already committed (resumable via "
+                            "--checkpoint-dir/--resume), or degrades to a "
+                            "cheaper method when --fallback is given")
+        p.add_argument("--max-frontier-mb", type=positive_float, default=None,
+                       metavar="MB",
+                       help="cap the retained DP frontier (the structure "
+                            "that actually exhausts memory) at this many "
+                            "megabytes; enforced after each layer commits")
+        p.add_argument("--fallback", nargs="?", const="fs,window,sift",
+                       default=None, metavar="LADDER",
+                       help="when the budget runs out, degrade through this "
+                            "comma-separated ladder instead of failing "
+                            "(default ladder: fs,window,sift — exact DP, "
+                            "then the exact-window sweep, then sifting); "
+                            "results from a lower rung are explicitly "
+                            "marked as not certified optimal")
+        p.add_argument("--max-retries", type=nonnegative_int, default=None,
+                       metavar="N",
+                       help="retry transient checkpoint/cache disk-write "
+                            "failures up to N times with exponential "
+                            "backoff (default: fail on the first error)")
 
     def add_profile_option(p: argparse.ArgumentParser) -> None:
         p.add_argument("--profile",
@@ -511,9 +695,16 @@ def _run_certify(args: argparse.Namespace) -> int:
     if table.n > 12:
         raise ReproError("certificate extraction needs the full DP (n <= 12)")
     profiler = _make_profiler(args)
-    certificate = extract_certificate(
-        run_fs(table, profiler=profiler, **_engine_kwargs(args))
-    )
+    result, exact, rung = _governed_exact(table, args, profiler)
+    if not exact:
+        raise ReproError(
+            f"cannot certify: the {rung!r} fallback rung produced an "
+            "ordering without an optimality proof (raise --timeout or "
+            "drop --fallback)"
+        )
+    if rung is not None:
+        result = result.result  # the fs rung's native FSResult
+    certificate = extract_certificate(result)
     print(f"optimal ordering : {' '.join(f'x{v}' for v in certificate.order)}")
     print(f"certified optimum: {certificate.mincost} internal nodes")
     if args.out:

@@ -16,7 +16,19 @@
 
 from .astar import AStarResult, astar_optimal_ordering
 from .bruteforce import BruteForceResult, brute_force_operation_bound, brute_force_optimal
+from .budget import (
+    DEFAULT_LADDER,
+    Budget,
+    BudgetExceeded,
+    FallbackResult,
+    RungAttempt,
+    handle_signals,
+    optimize_with_fallback,
+    parse_ladder,
+)
 from .cache import (
+    BatchError,
+    BatchItem,
     BatchOutcome,
     CacheStats,
     ResultCache,
@@ -30,6 +42,7 @@ from .checkpoint import (
     CheckpointStore,
     FaultInjector,
     InjectedFault,
+    RetryPolicy,
     corrupt_checkpoint,
     sweep_fingerprint,
 )
@@ -87,6 +100,17 @@ from .spec import FSState, ReductionRule
 __all__ = [
     "astar_optimal_ordering",
     "AStarResult",
+    "Budget",
+    "BudgetExceeded",
+    "DEFAULT_LADDER",
+    "FallbackResult",
+    "RetryPolicy",
+    "RungAttempt",
+    "handle_signals",
+    "optimize_with_fallback",
+    "parse_ladder",
+    "BatchError",
+    "BatchItem",
     "BatchOutcome",
     "CacheStats",
     "ResultCache",

@@ -39,7 +39,12 @@ caches final answers behind that recognition step:
   ``optimize --batch manifest.json``) fingerprints a list of tables,
   dedupes them *before* solving, fans the distinct misses over a worker
   pool, and resolves every duplicate through the cache — each duplicate
-  costs zero kernel invocations.
+  costs zero kernel invocations.  The batch is failure-isolated and
+  resource-governed: per-item errors become structured
+  :class:`BatchError` records while the rest of the batch still solves,
+  per-item deadlines (optionally with a degradation ladder, see
+  :mod:`repro.core.budget`) bound each item's cost, and disk-store
+  writes retry transient I/O errors with exponential backoff.
 
 Determinism guarantee: a cache hit returns an ordering in the same orbit
 as — and with cost bit-identical to — what an uncached run returns, and
@@ -70,7 +75,9 @@ import threading
 from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union,
+)
 
 import numpy as np
 
@@ -78,8 +85,11 @@ from ..analysis.counters import OperationCounters
 from ..errors import CacheError
 from ..observability import Profiler
 from ..truth_table import CanonicalForm, TruthTable, canonicalize_tables
-from .checkpoint import read_checked_json, write_checked_json
+from .checkpoint import RetryPolicy, read_checked_json, write_checked_json
 from .spec import FSState, ReductionRule
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (budget imports .fs)
+    from .budget import Budget
 
 CACHE_FORMAT = 1
 """Bumping this invalidates every existing fingerprint (entries simply
@@ -218,6 +228,10 @@ class CacheStats:
 
     evictions: int = 0
 
+    retries: int = 0
+    """Disk writes that needed at least one retry (see
+    :class:`~repro.core.checkpoint.RetryPolicy`), counted per attempt."""
+
     def snapshot(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
@@ -225,6 +239,7 @@ class CacheStats:
             "stores": self.stores,
             "disk_hits": self.disk_hits,
             "evictions": self.evictions,
+            "retries": self.retries,
         }
 
     @property
@@ -243,12 +258,20 @@ class ResultCache:
     """
 
     def __init__(
-        self, maxsize: int = 4096, directory: Optional[str] = None
+        self,
+        maxsize: int = 4096,
+        directory: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self.directory = directory
+        self.retry = retry
+        """Optional :class:`~repro.core.checkpoint.RetryPolicy` applied to
+        disk-store writes (transient ``OSError`` -> exponential backoff);
+        each retried attempt tallies :attr:`CacheStats.retries`."""
+
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.Lock()
@@ -294,15 +317,28 @@ class ResultCache:
         return None
 
     def store(self, fingerprint: str, entry: Dict[str, Any]) -> None:
-        """Insert (write-through when a directory is configured)."""
+        """Insert (write-through when a directory is configured).
+
+        Disk writes go through :attr:`retry` when one is configured, so a
+        transiently flaky filesystem costs backoff, not a lost batch."""
         with self._lock:
             self._insert(fingerprint, entry)
             self.stats.stores += 1
         if self.directory is not None:
-            write_checked_json(
-                self.entry_path(fingerprint),
-                {"fingerprint": fingerprint, "entry": entry},
-            )
+            path = self.entry_path(fingerprint)
+            payload = {"fingerprint": fingerprint, "entry": entry}
+            if self.retry is not None:
+                self.retry.run(
+                    lambda: write_checked_json(path, payload),
+                    describe=f"cache store {fingerprint[:12]}",
+                    on_retry=self._note_retry,
+                )
+            else:
+                write_checked_json(path, payload)
+
+    def _note_retry(self, attempt: int, exc: BaseException) -> None:
+        with self._lock:
+            self.stats.retries += 1
 
     def _insert(self, fingerprint: str, entry: Dict[str, Any]) -> None:
         self._entries[fingerprint] = entry
@@ -447,17 +483,62 @@ def chain_widths(
 # ----------------------------------------------------------------------
 
 @dataclass
+class BatchError:
+    """Structured record of one batch item's failure."""
+
+    index: int
+    """Position of the failing table in the input batch."""
+
+    stage: str
+    """``"fingerprint"`` (canonicalization rejected the table) or
+    ``"solve"`` (the optimizer raised)."""
+
+    error_type: str
+    """Exception class name, e.g. ``"DimensionError"``,
+    ``"BudgetExceeded"``."""
+
+    message: str
+
+
+@dataclass
+class BatchItem:
+    """Per-input outcome of :func:`optimize_many` (aligned 1:1 with the
+    input batch)."""
+
+    index: int
+    status: str
+    """``"ok"`` (solved as requested), ``"fallback"`` (a lower ladder
+    rung produced the ordering) or ``"error"``."""
+
+    result: Optional["FSResultLike"] = None
+    """The :class:`~repro.core.fs.FSResult` (or
+    :class:`~repro.core.budget.FallbackResult` when a ladder is active);
+    ``None`` iff :attr:`status` is ``"error"``."""
+
+    error: Optional[BatchError] = None
+
+
+@dataclass
 class BatchOutcome:
     """What :func:`optimize_many` returns."""
 
     results: List["FSResultLike"]
-    """One :class:`~repro.core.fs.FSResult` per input table, in order."""
+    """The successful results in input order.  With default options every
+    item succeeds and this holds one entry per input table; failed items
+    (see :attr:`items`) are simply absent."""
 
     unique: int
     """Distinct canonical fingerprints among the inputs."""
 
     stats: Dict[str, int] = field(default_factory=dict)
     """The cache's :meth:`CacheStats.snapshot` after the batch."""
+
+    items: List[BatchItem] = field(default_factory=list)
+    """One :class:`BatchItem` per input table, in input order — the
+    failure-isolated view (``ok``/``fallback``/``error``)."""
+
+    errors: List[BatchError] = field(default_factory=list)
+    """Every failed item's :class:`BatchError`, in input order."""
 
 
 FSResultLike = Any  # FSResult; the real type lives in .fs (imported lazily)
@@ -470,6 +551,11 @@ def optimize_many(
     engine: str = "numpy",
     jobs: int = 1,
     profiler: Optional[Profiler] = None,
+    per_item_timeout: Optional[float] = None,
+    fallback: Union[None, str, Sequence[str]] = None,
+    budget: Optional["Budget"] = None,
+    io_retry: Optional[RetryPolicy] = None,
+    install_signal_handlers: bool = False,
 ) -> BatchOutcome:
     """Optimize a batch of tables with canonical deduplication.
 
@@ -479,47 +565,193 @@ def optimize_many(
     resolves through the cache — zero kernel invocations, with the
     stored ordering translated through that member's own canonicalizing
     permutation.  Results are deterministic and independent of ``jobs``.
+
+    Failures are **isolated per item**: a table the canonicalizer or the
+    solver rejects becomes a structured :class:`BatchError` on
+    :attr:`BatchOutcome.items` / :attr:`BatchOutcome.errors` while every
+    other item still solves.  Worker futures are always drained — one
+    poisoned item never abandons or cancels its siblings' work.
+
+    Resource governance:
+
+    ``per_item_timeout``
+        Wall-clock seconds granted to each item.  Without ``fallback``
+        an over-budget item fails with a ``BudgetExceeded`` batch error;
+        with it, the item degrades through the ladder instead.
+    ``fallback``
+        A ladder spec (``"fs,window,sift"`` or a sequence) handed to
+        :func:`~repro.core.budget.optimize_with_fallback`; items whose
+        ordering came from a rung below the first are tagged
+        ``"fallback"``.
+    ``budget``
+        A batch-wide :class:`~repro.core.budget.Budget`.  Its deadline
+        caps the whole batch (each item gets the smaller of
+        ``per_item_timeout`` and the batch's remaining time), and its
+        cancellation event is shared with every item, so one ``cancel``
+        (or signal) stops the whole batch at the next boundary.
+    ``io_retry``
+        A :class:`~repro.core.checkpoint.RetryPolicy` attached to the
+        cache's disk writes (when the cache has no policy of its own).
+    ``install_signal_handlers``
+        Route SIGINT/SIGTERM into the batch budget's cancellation event
+        for the duration of the batch (see
+        :func:`~repro.core.budget.handle_signals`); items then stop at
+        their next layer boundary — final checkpoints and cache writes
+        already flushed — instead of dying mid-write.
     """
+    from .budget import Budget, handle_signals, optimize_with_fallback, \
+        parse_ladder  # deferred: budget's ladder imports .fs
     from .fs import run_fs  # deferred: fs imports this module
 
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if cache is None:
         cache = ResultCache()
+    if io_retry is not None and cache.retry is None:
+        cache.retry = io_retry
+    ladder = parse_ladder(fallback) if fallback is not None else None
+    governed = (
+        budget is not None
+        or per_item_timeout is not None
+        or install_signal_handlers
+    )
+    parent = budget if budget is not None else Budget()
+    if governed:
+        parent.arm()
+
     tables = list(tables)
-    keys = [table_key([t], rule, spec="fs", profiler=profiler) for t in tables]
+    items: List[Optional[BatchItem]] = [None] * len(tables)
+    keys: List[Optional[TableKey]] = []
+    for index, t in enumerate(tables):
+        try:
+            keys.append(table_key([t], rule, spec="fs", profiler=profiler))
+        except Exception as exc:
+            keys.append(None)
+            items[index] = BatchItem(
+                index=index,
+                status="error",
+                error=BatchError(
+                    index=index,
+                    stage="fingerprint",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                ),
+            )
     first_of: Dict[str, int] = {}
     for index, key in enumerate(keys):
-        first_of.setdefault(key.fingerprint, index)
+        if key is not None:
+            first_of.setdefault(key.fingerprint, index)
     representatives = sorted(first_of.values())
 
-    results: List[Optional[FSResultLike]] = [None] * len(tables)
+    def item_budget() -> Optional["Budget"]:
+        if not governed:
+            return None
+        remaining = parent.remaining()
+        if per_item_timeout is None:
+            share = remaining
+        elif remaining is None:
+            share = per_item_timeout
+        else:
+            share = min(per_item_timeout, remaining)
+        return parent.subbudget(share)
 
-    def solve(index: int) -> FSResultLike:
-        return run_fs(
-            tables[index], rule=rule, engine=engine, cache=cache
-        )
+    def solve_item(index: int) -> BatchItem:
+        sub = item_budget()
+        try:
+            if ladder is not None:
+                outcome = optimize_with_fallback(
+                    tables[index],
+                    budget=sub,
+                    ladder=ladder,
+                    rule=rule,
+                    engine=engine,
+                    cache=cache,
+                )
+                status = "ok" if outcome.rung == ladder[0] else "fallback"
+                return BatchItem(index=index, status=status, result=outcome)
+            result = run_fs(
+                tables[index], rule=rule, engine=engine, cache=cache,
+                budget=sub,
+            )
+            return BatchItem(index=index, status="ok", result=result)
+        except Exception as exc:
+            return BatchItem(
+                index=index,
+                status="error",
+                error=BatchError(
+                    index=index,
+                    stage="solve",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                ),
+            )
 
-    if jobs > 1 and len(representatives) > 1:
-        from concurrent.futures import ThreadPoolExecutor
+    def run_batch() -> None:
+        if jobs > 1 and len(representatives) > 1:
+            from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(
-            max_workers=min(jobs, len(representatives))
-        ) as pool:
-            futures = {i: pool.submit(solve, i) for i in representatives}
+            with ThreadPoolExecutor(
+                max_workers=min(jobs, len(representatives))
+            ) as pool:
+                futures = {i: pool.submit(solve_item, i)
+                           for i in representatives}
+                try:
+                    # solve_item never raises, so this drains every
+                    # future even when some items carry errors.
+                    for i in representatives:
+                        items[i] = futures[i].result()
+                except BaseException:
+                    # Interpreter-level interrupts (KeyboardInterrupt)
+                    # still land here: stop the workers cooperatively
+                    # and drop queued ones instead of leaking them.
+                    parent.cancel.set()
+                    for future in futures.values():
+                        future.cancel()
+                    raise
+        else:
             for i in representatives:
-                results[i] = futures[i].result()
-    else:
-        for i in representatives:
-            results[i] = solve(i)
-    for i in range(len(tables)):
-        if results[i] is None:
-            results[i] = solve(i)  # a duplicate: resolves as a cache hit
+                items[i] = solve_item(i)
+        for i in range(len(tables)):
+            if items[i] is not None:
+                continue
+            key = keys[i]
+            assert key is not None  # fingerprint failures filled above
+            rep = first_of[key.fingerprint]
+            rep_item = items[rep]
+            assert rep_item is not None
+            if rep_item.status == "error" and rep_item.error is not None:
+                # Re-solving an orbit whose representative failed would
+                # deterministically fail the same way; report it directly.
+                items[i] = BatchItem(
+                    index=i,
+                    status="error",
+                    error=BatchError(
+                        index=i,
+                        stage=rep_item.error.stage,
+                        error_type=rep_item.error.error_type,
+                        message=(f"duplicate of failed item {rep}: "
+                                 f"{rep_item.error.message}"),
+                    ),
+                )
+            else:
+                items[i] = solve_item(i)  # resolves as a cache hit
 
+    if install_signal_handlers:
+        with handle_signals(parent):
+            run_batch()
+    else:
+        run_batch()
+
+    final_items = [item for item in items if item is not None]
+    assert len(final_items) == len(tables)
     if profiler is not None:
         profiler.note_cache_stats(cache.stats.snapshot())
     return BatchOutcome(
-        results=[r for r in results if r is not None],
+        results=[item.result for item in final_items
+                 if item.result is not None],
         unique=len(first_of),
         stats=cache.stats.snapshot(),
+        items=final_items,
+        errors=[item.error for item in final_items
+                if item.error is not None],
     )

@@ -48,8 +48,9 @@ import hashlib
 import json
 import os
 import re
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -131,6 +132,68 @@ def read_checked_json(path: str, error: type = CheckpointError) -> Dict[str, Any
             "the file is corrupt"
         )
     return payload
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential-backoff retry for transient durable-storage I/O.
+
+    Checkpoint and result-cache files live on whatever filesystem the
+    operator points them at — often networked storage where a write can
+    fail transiently (NFS blip, quota race) without the run being doomed.
+    This policy wraps one I/O callable: retryable exceptions are retried
+    up to ``max_retries`` times with delays ``base_delay * 2**attempt``
+    capped at ``max_delay``; anything else (and the final failure)
+    propagates unchanged.  Validation errors
+    (:class:`~repro.errors.CheckpointError` /
+    :class:`~repro.errors.CacheError`) are *not* ``OSError`` subclasses,
+    so corrupt data is never retried into silence.
+
+    ``sleep`` is injectable so tests run instantly; ``retries_used``
+    tallies across every :meth:`run` for observability (the result cache
+    mirrors it into :class:`repro.core.cache.CacheStats.retries` and the
+    engine into the ``retries`` extra counter).
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    retryable: Tuple[type, ...] = (OSError,)
+    sleep: Callable[[float], None] = time.sleep
+
+    retries_used: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+
+    def run(
+        self,
+        fn: Callable[[], Any],
+        describe: str = "operation",
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> Any:
+        """Call ``fn`` with retries; returns its result.
+
+        ``on_retry(attempt, exc)`` fires before each backoff sleep (for
+        counters/logging).  The last exception is re-raised unchanged
+        once the budget of retries is spent.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except self.retryable as exc:
+                if attempt >= self.max_retries:
+                    raise
+                delay = min(self.base_delay * (2 ** attempt), self.max_delay)
+                attempt += 1
+                self.retries_used += 1
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.sleep(delay)
 
 
 @dataclass
@@ -365,10 +428,18 @@ class CheckpointStore:
     fingerprint and payload checksum.
     """
 
-    def __init__(self, directory: str, fingerprint: Dict[str, Any]) -> None:
+    def __init__(
+        self,
+        directory: str,
+        fingerprint: Dict[str, Any],
+        retry: Optional[RetryPolicy] = None,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> None:
         self.directory = directory
         self.fingerprint = fingerprint
         self.fp_hash = fingerprint_hash(fingerprint)
+        self.retry = retry
+        self.on_retry = on_retry
         os.makedirs(directory, exist_ok=True)
 
     def layer_path(self, k: int) -> str:
@@ -415,7 +486,14 @@ class CheckpointStore:
             "subsets_processed": subsets_processed,
             "counter_delta": dict(sorted(counter_delta.items())),
         }
-        return write_checked_json(self.layer_path(k), payload)
+        path = self.layer_path(k)
+        if self.retry is not None:
+            return self.retry.run(
+                lambda: write_checked_json(path, payload),
+                describe=path,
+                on_retry=self.on_retry,
+            )
+        return write_checked_json(path, payload)
 
     def load_latest(self, upto: int) -> Optional[RestoredSweep]:
         """Restore the newest finished layer ``<= upto``, or ``None``.

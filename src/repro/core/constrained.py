@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .._bitops import bits_of
 from ..analysis.counters import OperationCounters
@@ -26,10 +26,13 @@ from ..errors import CacheError, DimensionError, OrderingError
 from ..observability import Profiler
 from ..truth_table import TruthTable
 from .cache import ResultCache, chain_widths, raw_table_key
-from .checkpoint import FaultInjector
+from .checkpoint import FaultInjector, RetryPolicy
 from .engine import EngineConfig, FrontierPolicy, run_layered_sweep
 from .fs import initial_state
 from .spec import ReductionRule
+
+if TYPE_CHECKING:  # pragma: no cover - budget imports this package lazily
+    from .budget import Budget
 
 Precedence = Sequence[Tuple[int, int]]  # (earlier, later) pairs
 
@@ -110,6 +113,8 @@ def run_fs_constrained(
     resume: bool = False,
     fault_injector: Optional[FaultInjector] = None,
     cache: Optional[ResultCache] = None,
+    budget: Optional["Budget"] = None,
+    io_retry: Optional[RetryPolicy] = None,
 ) -> ConstrainedResult:
     """Optimal ordering among those honoring every ``(earlier, later)``
     pair (``earlier`` is read closer to the root).
@@ -135,6 +140,7 @@ def run_fs_constrained(
         kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler,
         checkpoint_dir=checkpoint_dir, resume=resume,
         fault_injector=fault_injector, checkpoint_tag=tag, cache=cache,
+        budget=budget, io_retry=io_retry,
     )
     # Precedence constraints are tied to concrete variable names, so the
     # key hashes the raw table plus the closure — no canonicalization.

@@ -39,6 +39,15 @@ every finished layer is snapshotted through
 from the last valid snapshot — results and counters bit-identical to an
 uninterrupted run.  Because every DP entry point routes through
 :func:`run_layered_sweep`, all of them inherit this for free.
+
+Resource governance: a :class:`~repro.core.budget.Budget` on the config
+is checked at every layer boundary — before a layer starts and after it
+(and its checkpoint) commits, never mid-kernel — so a deadline, a
+frontier-size cap or a cooperative cancellation aborts the sweep
+promptly and deterministically with a
+:class:`~repro.errors.BudgetExceeded` that names the layers completed,
+the best-so-far bound and the last durable checkpoint.  All five DP
+entry points inherit this the same way they inherit crash safety.
 """
 
 from __future__ import annotations
@@ -56,10 +65,13 @@ from .._bitops import bits_of, popcount, subsets_of_size
 from ..analysis.counters import OperationCounters
 from ..errors import DimensionError, OrderingError
 from ..observability import Profiler, frontier_nbytes
-from .checkpoint import CheckpointStore, FaultInjector, Skeleton, sweep_fingerprint
+from .checkpoint import (
+    CheckpointStore, FaultInjector, RetryPolicy, Skeleton, sweep_fingerprint,
+)
 from .spec import FSState, ReductionRule
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache imports spec)
+    from .budget import Budget
     from .cache import ResultCache
 
 KernelFn = Callable[..., FSState]
@@ -177,6 +189,19 @@ class EngineConfig:
     points that only receive a config (``window_sweep``, ``fs_star``)
     consult the same cache as their callers."""
 
+    budget: Optional["Budget"] = None
+    """Resource envelope (see :mod:`repro.core.budget`).  Checked at
+    every layer boundary of the sweep: before a layer starts (deadline /
+    cancellation) and after it commits (deadline / cancellation /
+    frontier caps, evaluated *after* the layer's checkpoint is durably
+    written, so the :class:`~repro.errors.BudgetExceeded` it raises
+    always names a resumable state)."""
+
+    io_retry: Optional[RetryPolicy] = None
+    """Retry-with-backoff policy for checkpoint writes (transient
+    ``OSError`` only — validation failures never retry); retries tally
+    the ``retries`` extra counter."""
+
     def __post_init__(self) -> None:
         self.frontier = coerce_policy(self.frontier)
         if self.jobs < 1:
@@ -284,6 +309,11 @@ def run_layered_sweep(
             level_cost_by_choice=level_cost_by_choice,
         )
 
+    budget = config.budget
+    last_checkpoint_path: Optional[str] = None
+    if budget is not None:
+        budget.arm()
+
     store: Optional[CheckpointStore] = None
     counters_baseline: Optional[OperationCounters] = None
     start_k = 1
@@ -299,6 +329,8 @@ def run_layered_sweep(
                 frontier=config.frontier.value,
                 tag=config.checkpoint_tag,
             ),
+            retry=config.io_retry,
+            on_retry=lambda attempt, exc: counters.add_extra("retries"),
         )
         # Counter deltas are checkpointed relative to the sweep's start,
         # so a caller-prepopulated counters object restores exactly.
@@ -316,12 +348,28 @@ def run_layered_sweep(
                 subsets_processed = restored.subsets_processed
                 counters.merge(restored.counter_delta)
                 start_k = restored.layer + 1
+                last_checkpoint_path = restored.path
 
     pool: Optional[ThreadPoolExecutor] = None
     if config.jobs > 1:
         pool = ThreadPoolExecutor(max_workers=config.jobs)
     try:
         for k in range(start_k, upto + 1):
+            if budget is not None:
+                # Pre-layer boundary check (deadline/cancellation only):
+                # catches a resume that is already over budget and a
+                # cancellation that arrived between layers.
+                with (profiler.phase("budget_check") if profiler is not None
+                      else nullcontext()):
+                    budget.check(
+                        counters=counters,
+                        layers_completed=k - 1,
+                        best_bound=min(
+                            entry.mincost for entry in previous.values()
+                        ),
+                        checkpoint_path=last_checkpoint_path,
+                        where=f"layer boundary (before k={k})",
+                    )
             layer_masks = [
                 mask
                 for mask in subsets_of_size(universe_mask, k)
@@ -394,8 +442,36 @@ def run_layered_sweep(
                         subsets_processed=subsets_processed,
                         counter_delta=counters.diff(counters_baseline),
                     )
+            if checkpoint_path is not None:
+                last_checkpoint_path = checkpoint_path
             if config.fault_injector is not None:
                 config.fault_injector.on_layer_committed(k, checkpoint_path)
+            if budget is not None:
+                # Post-layer boundary check: the layer (and its
+                # checkpoint, when enabled) is fully committed, so the
+                # raise leaves a resumable state and the frontier caps
+                # see the layer that actually holds the memory.
+                with (profiler.phase("budget_check") if profiler is not None
+                      else nullcontext()):
+                    budget.check(
+                        counters=counters,
+                        frontier_entries=(
+                            len(current)
+                            if budget.max_frontier_entries is not None
+                            else None
+                        ),
+                        frontier_bytes=(
+                            frontier_nbytes(current)
+                            if budget.max_frontier_bytes is not None
+                            else None
+                        ),
+                        layers_completed=k,
+                        best_bound=min(
+                            entry.mincost for entry in current.values()
+                        ),
+                        checkpoint_path=last_checkpoint_path,
+                        where=f"layer boundary (after k={k})",
+                    )
     finally:
         if pool is not None:
             pool.shutdown(wait=True)

@@ -17,7 +17,7 @@ measures exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -34,9 +34,12 @@ from .cache import (
     store_ordering,
     table_key,
 )
-from .checkpoint import FaultInjector
+from .checkpoint import FaultInjector, RetryPolicy
 from .engine import EngineConfig, FrontierPolicy, get_kernel, run_layered_sweep
 from .spec import FSState, ReductionRule
+
+if TYPE_CHECKING:  # pragma: no cover - budget imports fs lazily
+    from .budget import Budget
 
 CompactFn = Callable[..., FSState]
 
@@ -197,6 +200,8 @@ def run_fs(
     resume: bool = False,
     fault_injector: Optional["FaultInjector"] = None,
     cache: Optional[ResultCache] = None,
+    budget: Optional["Budget"] = None,
+    io_retry: Optional[RetryPolicy] = None,
 ) -> FSResult:
     """Run the full Friedman-Supowit dynamic program.
 
@@ -242,6 +247,18 @@ def run_fs(
         work; a hit returns in ``O*(2^n)`` with *zero* compactions, the
         stored ordering mapped back through the canonicalizing
         permutation.  A miss runs the DP and stores the answer.
+    budget:
+        Optional :class:`repro.core.budget.Budget` (deadline, frontier
+        caps, cancellation).  Checked at every DP layer boundary; an
+        exhausted budget raises :class:`~repro.errors.BudgetExceeded`
+        recording the layers completed, the best-so-far bound and (with
+        ``checkpoint_dir``) the last committed checkpoint, from which a
+        later resume under a bigger budget continues bit-identically.
+        For automatic degradation to cheaper heuristics instead of an
+        exception, see :func:`repro.core.budget.optimize_with_fallback`.
+    io_retry:
+        Optional :class:`repro.core.checkpoint.RetryPolicy` retrying
+        transient checkpoint-write failures with exponential backoff.
 
     Returns
     -------
@@ -257,6 +274,7 @@ def run_fs(
         kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler,
         checkpoint_dir=checkpoint_dir, resume=resume,
         fault_injector=fault_injector, cache=cache,
+        budget=budget, io_retry=io_retry,
     )
     key = None
     if cache is not None:

@@ -101,6 +101,13 @@ def run_fs_star(
     """
     if j_mask == 0:
         return base
+    budget = config.budget if config is not None else None
+    if budget is not None:
+        # The layered sweep re-checks at every layer boundary; this entry
+        # check additionally covers the cache-replay short-circuit, which
+        # never enters the engine.
+        budget.arm()
+        budget.check(counters=counters, where="fs_star entry")
     cache = config.cache if config is not None else None
     fingerprint = None
     if cache is not None:

@@ -17,7 +17,7 @@ cites first appeared (Tani, Hamaguchi & Yajima [THY96]).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,11 +33,14 @@ from .cache import (
     store_ordering,
     table_key,
 )
-from .checkpoint import FaultInjector
+from .checkpoint import FaultInjector, RetryPolicy
 from .compaction import compact
 from .engine import EngineConfig, FrontierPolicy, run_layered_sweep
 from .fs import FSResult
 from .spec import FSState, ReductionRule
+
+if TYPE_CHECKING:  # pragma: no cover - budget imports this package lazily
+    from .budget import Budget
 
 
 def initial_state_shared(
@@ -107,6 +110,8 @@ def run_fs_shared(
     resume: bool = False,
     fault_injector: Optional[FaultInjector] = None,
     cache: Optional[ResultCache] = None,
+    budget: Optional["Budget"] = None,
+    io_retry: Optional[RetryPolicy] = None,
 ) -> FSResult:
     """Exact optimal ordering for the shared diagram of several outputs.
 
@@ -114,7 +119,7 @@ def run_fs_shared(
     sizes; returns an :class:`~repro.core.fs.FSResult` whose ``mincost``
     counts the *shared* internal nodes of the whole forest.  Execution
     options (``engine``/``jobs``/``frontier``/``profiler``/
-    ``checkpoint_dir``/``resume``/``cache``) match
+    ``checkpoint_dir``/``resume``/``cache``/``budget``/``io_retry``) match
     :func:`repro.core.fs.run_fs` — the same engine runs both DPs, and a
     single-output shared call shares cache entries with ``run_fs`` (the
     problems are identical).  Multi-output keys canonicalize under
@@ -128,6 +133,7 @@ def run_fs_shared(
         kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler,
         checkpoint_dir=checkpoint_dir, resume=resume,
         fault_injector=fault_injector, cache=cache,
+        budget=budget, io_retry=io_retry,
     )
     key = None
     if cache is not None:

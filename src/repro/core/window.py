@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from .._bitops import mask_of
 from ..analysis.counters import OperationCounters
-from ..errors import CacheError, OrderingError
+from ..errors import BudgetExceeded, CacheError, OrderingError
 from ..truth_table import TruthTable
 from .cache import raw_table_key
 from .engine import EngineConfig, get_kernel
@@ -171,6 +171,13 @@ def window_sweep(
     table, rule, width, round budget and initial order, since a window
     sweep's trajectory is tied to concrete variable positions — and also
     accelerates the inner FS* solves via their own chain entries.
+
+    A :class:`~repro.core.budget.Budget` on ``config`` is checked before
+    every window solve (and at the layer boundaries of each inner FS*
+    sweep); the resulting :class:`~repro.errors.BudgetExceeded` carries
+    the best full ordering and size reached so far on ``best_order`` /
+    ``best_bound``, so a degradation ladder can seed a cheaper method
+    with the partial progress.
     """
     n = table.n
     if width < 2:
@@ -180,6 +187,9 @@ def window_sweep(
     if counters is None:
         counters = OperationCounters()
 
+    budget = config.budget if config is not None else None
+    if budget is not None:
+        budget.arm()
     cache = config.cache if config is not None else None
     fingerprint = None
     if cache is not None:
@@ -220,10 +230,24 @@ def window_sweep(
     for _ in range(max_rounds):
         round_improved = False
         for start in range(n - width + 1):
-            result = exact_window(
-                table, order, start, width, rule, counters, config,
-                known_size=size,
-            )
+            if budget is not None:
+                budget.check(
+                    counters=counters,
+                    best_bound=size,
+                    best_order=tuple(order),
+                    where=f"window boundary (start={start})",
+                )
+            try:
+                result = exact_window(
+                    table, order, start, width, rule, counters, config,
+                    known_size=size,
+                )
+            except BudgetExceeded as exc:
+                # The inner FS* raise describes a sub-lattice state; the
+                # sweep-level progress is what a caller can actually use.
+                exc.best_order = tuple(order)
+                exc.best_bound = size
+                raise
             solved += 1
             if result.size < size:
                 size = result.size

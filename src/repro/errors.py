@@ -24,7 +24,55 @@ class EvaluationError(ReproError):
 
 
 class BudgetExceeded(ReproError):
-    """An instrumented run exceeded its configured operation budget."""
+    """A governed run exhausted its :class:`repro.core.budget.Budget`.
+
+    Raised only at well-defined boundaries (a DP layer boundary, a window
+    boundary, a degradation-ladder rung), never mid-kernel, so the
+    process state at the moment of the raise is always resumable.  The
+    exception records how far the run got:
+
+    ``reason``
+        Which limit tripped: ``"deadline"``, ``"cancelled"``,
+        ``"frontier_entries"`` or ``"frontier_bytes"``.
+    ``elapsed_seconds``
+        Wall-clock since the budget was armed.
+    ``layers_completed``
+        DP layers fully committed before the abort (sweeps only).
+    ``best_bound``
+        Best size bound established so far: for an aborted exact sweep a
+        *lower* bound on the optimum (the cheapest frontier state); for
+        an aborted window sweep the best *achieved* total so far.
+    ``best_order``
+        Best complete ordering found so far, when one exists (window
+        sweeps and ladder rungs; ``None`` for an aborted exact DP).
+    ``checkpoint_path``
+        The last durably committed checkpoint file when the governed run
+        had ``checkpoint_dir`` set — a later resume with a larger (or no)
+        budget continues from it bit-identically.
+    ``where``
+        Human-readable boundary description (e.g. ``"layer boundary"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "deadline",
+        elapsed_seconds=None,
+        layers_completed=None,
+        best_bound=None,
+        best_order=None,
+        checkpoint_path=None,
+        where: str = "layer boundary",
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.elapsed_seconds = elapsed_seconds
+        self.layers_completed = layers_completed
+        self.best_bound = best_bound
+        self.best_order = best_order
+        self.checkpoint_path = checkpoint_path
+        self.where = where
 
 
 class CheckpointError(ReproError):

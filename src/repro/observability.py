@@ -16,6 +16,14 @@ Everything serializes to plain JSON (``Profiler.to_dict`` /
 ``Profiler.write``) so CLI runs (``repro optimize --profile out.json``)
 and benchmarks (``BENCH_*.json``) can record the same trajectory.
 
+Well-known phase names: ``prepare``, ``checkpoint_write`` /
+``checkpoint_load``, ``cache_lookup`` / ``cache_store`` /
+``canonicalize``, and ``budget_check`` — the engine's per-layer-boundary
+resource-governance checks (see :mod:`repro.core.budget`), kept as a
+phase so operators can verify governance overhead stays negligible.
+Governance events land in the ``budget_aborts`` / ``fallback_used`` /
+``retries`` extra counters.
+
 Wall-clock numbers are honest measurements of *this* process; the paper's
 complexity claims are still pinned by the deterministic
 :class:`~repro.analysis.counters.OperationCounters`, which the profile

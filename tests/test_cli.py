@@ -367,11 +367,19 @@ class TestBatchOptimize:
         assert code == 2
         assert "non-empty" in err
 
-    def test_batch_rejects_ambiguous_entry(self, run, tmp_path):
-        path = self.manifest(tmp_path, [{"expr": "x0", "pla": "f.pla"}])
-        code, _, err = run("optimize", "--batch", path)
-        assert code == 2
-        assert "exactly one" in err
+    def test_batch_isolates_ambiguous_entry(self, run, tmp_path):
+        # A malformed entry becomes a [failed] row (exit 1), not a
+        # batch-aborting traceback; the other entries still solve.
+        path = self.manifest(tmp_path, [
+            {"expr": "x0", "pla": "f.pla"},
+            {"expr": "x0 & x1", "label": "fine"},
+        ])
+        code, out, _ = run("optimize", "--batch", path)
+        assert code == 1
+        assert "[failed]" in out
+        assert "exactly one" in out
+        assert "fine" in out and "nodes=" in out
+        assert "1 ok / 0 fallback / 1 failed" in out
 
     def test_shared_optimize_warm_marker(self, run, tmp_path):
         pla = tmp_path / "two.pla"
@@ -387,3 +395,113 @@ class TestBatchOptimize:
         assert "served from      : result cache" in warm
         assert [l for l in warm.splitlines() if "shared nodes" in l] == \
                [l for l in cold.splitlines() if "shared nodes" in l]
+
+
+class TestResourceGovernance:
+    """--timeout / --max-frontier-mb / --fallback / --max-retries."""
+
+    def heavy_pla(self, tmp_path, n=12, seed=3):
+        path = tmp_path / f"heavy{n}.pla"
+        path.write_text(write_pla(TruthTable.random(n, seed=seed)))
+        return str(path)
+
+    def test_timeout_without_fallback_is_a_clean_error(self, run, tmp_path):
+        code, out, err = run("optimize", "--pla", self.heavy_pla(tmp_path),
+                             "--timeout", "0.05")
+        assert code == 2
+        assert "error:" in err
+        assert "wall-clock budget" in err
+        assert "Traceback" not in err
+
+    def test_timeout_with_fallback_degrades_and_tags(self, run, tmp_path):
+        code, out, _ = run("optimize", "--pla", self.heavy_pla(tmp_path),
+                           "--timeout", "0.05", "--fallback")
+        assert code == 0
+        assert "best ordering" in out
+        assert "fallback, not certified optimal" in out
+        assert "optimal ordering" not in out
+
+    def test_fallback_with_ample_budget_stays_exact(self, run):
+        code, out, _ = run("optimize", "--expr", "x0 & x1 | x2 & x3",
+                           "--timeout", "60", "--fallback")
+        assert code == 0
+        assert "optimal ordering" in out
+        assert "method           : fs (exact)" in out
+
+    def test_generous_limits_do_not_change_output(self, run):
+        expr = "x0 & x1 | x2 & x3"
+        _, reference, _ = run("optimize", "--expr", expr)
+        code, out, _ = run("optimize", "--expr", expr,
+                           "--timeout", "60", "--max-frontier-mb", "512")
+        assert code == 0
+        assert out == reference
+
+    def test_frontier_cap_without_fallback_is_a_clean_error(self, run):
+        code, _, err = run("optimize", "--expr",
+                           " | ".join(f"x{i} & x{i+1}" for i in range(0, 8, 2)),
+                           "--max-frontier-mb", "0.0001")
+        assert code == 2
+        assert "frontier" in err
+
+    def test_fallback_requires_fs_algorithm(self, run):
+        code, _, err = run("optimize", "--expr", "x0 & x1",
+                           "--algorithm", "astar", "--fallback")
+        assert code == 2
+        assert "requires --algorithm fs" in err
+
+    def test_dot_rejected_for_uncertified_ordering(self, run, tmp_path):
+        code, _, err = run("optimize", "--pla", self.heavy_pla(tmp_path),
+                           "--timeout", "0.05", "--fallback",
+                           "--dot", str(tmp_path / "out.dot"))
+        assert code == 2
+        assert "uncertified" in err
+
+    def test_certify_rejects_inexact_result(self, run, tmp_path):
+        code, _, err = run("certify", "--pla", self.heavy_pla(tmp_path),
+                           "--timeout", "0.05", "--fallback",
+                           "--out", str(tmp_path / "cert.json"))
+        assert code == 2
+        assert "cannot certify" in err
+
+    def test_gap_marks_fallback_bounds(self, run):
+        code, out, _ = run("gap", "--max-pairs", "6",
+                           "--timeout", "0.05", "--fallback")
+        assert code == 0
+        assert "~" in out
+
+    def test_max_retries_flag_accepted(self, run, tmp_path):
+        code, out, _ = run("optimize", "--expr", "x0 & x1 | x2",
+                           "--cache-dir", str(tmp_path / "cache"),
+                           "--max-retries", "2")
+        assert code == 0
+        assert "total size" in out
+
+    def manifest(self, tmp_path, entries):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(entries))
+        return str(path)
+
+    def test_batch_timeout_without_fallback_fails_only_slow_items(
+            self, run, tmp_path):
+        self.heavy_pla(tmp_path)
+        path = self.manifest(tmp_path, [
+            {"pla": "heavy12.pla", "label": "slow"},
+            {"expr": "x0 & x1", "label": "fast"},
+        ])
+        code, out, _ = run("optimize", "--batch", path, "--timeout", "0.05")
+        assert code == 1
+        assert "[failed] BudgetExceeded" in out
+        assert "fast" in out and "nodes=" in out
+        assert "1 ok / 0 fallback / 1 failed" in out
+
+    def test_batch_timeout_with_fallback_tags_rung(self, run, tmp_path):
+        self.heavy_pla(tmp_path)
+        path = self.manifest(tmp_path, [
+            {"pla": "heavy12.pla", "label": "slow"},
+            {"expr": "x0 & x1", "label": "fast"},
+        ])
+        code, out, _ = run("optimize", "--batch", path,
+                           "--timeout", "0.05", "--fallback")
+        assert code == 0
+        assert "[fallback:" in out
+        assert "1 ok / 1 fallback / 0 failed" in out
