@@ -8,12 +8,16 @@ algorithm), over fully independent OBDD / ZDD / MTBDD substrates.
 
 Quick start
 -----------
->>> from repro import find_optimal_ordering, parse
->>> result = find_optimal_ordering(parse("x0 & x1 | x2 & x3 | x4 & x5"))
->>> result.size          # minimum OBDD node count (incl. terminals)
+>>> from repro import parse, solve
+>>> solution = solve(parse("x0 & x1 | x2 & x3 | x4 & x5"))
+>>> solution.size        # minimum OBDD node count (incl. terminals)
 8
->>> result.order         # an optimal read order
+>>> solution.order       # an optimal read order
 (0, 1, 2, 3, 4, 5)
+
+``solve(problem, method="fs"|"shared"|"constrained"|"window"|"fs_star")``
+is the stable front door over the five DP entry points (``run_fs`` and
+friends remain the full-fidelity interfaces).
 
 See README.md for the architecture overview, DESIGN.md for the system
 inventory, and EXPERIMENTS.md for the paper-vs-measured record.
@@ -51,6 +55,7 @@ from .core import (
     run_fs_star,
     window_sweep,
 )
+from .api import OrderingSolution, solve
 from .expr import CNF, DNF, Circuit, parse, to_truth_table
 from .quantum import ClassicalMinimumFinder, QuantumMinimumFinder, QueryLedger
 from .truth_table import TruthTable, count_subfunctions, obdd_size
@@ -66,6 +71,9 @@ __all__ = [
     "CNF",
     "Circuit",
     "to_truth_table",
+    # unified front door
+    "solve",
+    "OrderingSolution",
     # core algorithms
     "ReductionRule",
     "run_fs",

@@ -1,0 +1,270 @@
+"""The stable front door: ``repro.solve()``.
+
+The repo grew five DP entry points — full FS, shared/multi-rooted FS,
+precedence-constrained FS, the exact-window sweep and composable FS* —
+each with its own result dataclass and calling convention, because each
+is a distinct object of study in the paper.  Scripts that just want "the
+best ordering for this problem, by that method" shouldn't need to know
+five signatures, so :func:`solve` dispatches on ``method=`` and returns
+one :class:`OrderingSolution` shape for all of them.  The ``run_*``
+functions remain the full-fidelity interfaces (every method-specific
+field lives on ``OrderingSolution.result``); ``solve`` is sugar over
+them, never a fork of their logic.
+
+Engine knobs (``engine=``, ``jobs=``, ``backend=``, ``frontier=``,
+``profiler=``, ``checkpoint_dir=``, ``resume=``, ``cache=``,
+``budget=``, ``io_retry=``) pass through uniformly — including to
+``window`` and ``fs_star``, which natively take an
+:class:`~repro.core.engine.EngineConfig` that :func:`solve` assembles
+for you.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from .analysis.counters import OperationCounters
+from .core.engine import EngineConfig
+from .core.spec import FSState, ReductionRule
+from .observability import Profiler
+from .truth_table import TruthTable
+
+METHODS = ("fs", "shared", "constrained", "window", "fs_star")
+
+# EngineConfig field for each uniformly accepted engine kwarg (None =
+# passes through under its own name to the run_* entry points).
+_ENGINE_KWARGS: Dict[str, str] = {
+    "engine": "kernel",
+    "jobs": "jobs",
+    "backend": "backend",
+    "frontier": "frontier",
+    "profiler": "profiler",
+    "checkpoint_dir": "checkpoint_dir",
+    "resume": "resume",
+    "fault_injector": "fault_injector",
+    "cache": "cache",
+    "budget": "budget",
+    "io_retry": "io_retry",
+}
+
+
+@dataclass
+class OrderingSolution:
+    """What every :func:`solve` method returns.
+
+    The common core of the five DPs: an ordering, its cost, whether the
+    method guarantees optimality, and the instrumentation that proves
+    what it did.  Method-specific riches (the full ``MINCOST_I`` table,
+    window trajectory, ...) stay on :attr:`result`.
+    """
+
+    method: str
+    n: int
+    rule: ReductionRule
+    order: Tuple[int, ...]
+    """Best ordering found, read-first to read-last."""
+
+    mincost: int
+    """Internal nodes of the diagram under :attr:`order` (for ``shared``,
+    of the whole forest)."""
+
+    exact: bool
+    """True when the method guarantees :attr:`order` is globally optimal
+    (``fs``/``shared``/``constrained``/``fs_star``); the window sweep is
+    locally exact but globally heuristic, so ``False``."""
+
+    counters: OperationCounters
+    num_terminals: Optional[int] = None
+    profile: Optional[Profiler] = None
+    """The profiler passed in ``engine_kwargs``, if any, after the run."""
+
+    result: Any = None
+    """The method's native result object (``FSResult``,
+    ``ConstrainedResult``, ``WindowResult``, or the final ``FSState``)."""
+
+    @property
+    def size(self) -> int:
+        """Total node count including terminals (Figure 1 convention)."""
+        return self.mincost + (self.num_terminals or 0)
+
+
+def _as_table(problem: Any, n: Optional[int] = None) -> TruthTable:
+    if isinstance(problem, TruthTable):
+        return problem
+    from .expr import to_truth_table  # deferred: expr imports this package
+
+    return to_truth_table(problem, n)
+
+
+def _split_engine_kwargs(
+    method: str, kwargs: Dict[str, Any]
+) -> Dict[str, Any]:
+    unknown = sorted(set(kwargs) - set(_ENGINE_KWARGS))
+    if unknown:
+        raise TypeError(
+            f"solve(method={method!r}) got unexpected keyword argument(s) "
+            f"{unknown}; engine options are {sorted(_ENGINE_KWARGS)}"
+        )
+    return kwargs
+
+
+def _engine_config(method: str, kwargs: Dict[str, Any]) -> EngineConfig:
+    _split_engine_kwargs(method, kwargs)
+    return EngineConfig(
+        **{_ENGINE_KWARGS[name]: value for name, value in kwargs.items()}
+    )
+
+
+def solve(
+    problem: Any,
+    *,
+    method: str = "fs",
+    rule: ReductionRule = ReductionRule.BDD,
+    counters: Optional[OperationCounters] = None,
+    n: Optional[int] = None,
+    precedence: Any = None,
+    j_mask: Optional[int] = None,
+    initial_order: Optional[Tuple[int, ...]] = None,
+    width: int = 3,
+    max_rounds: int = 10,
+    **engine_kwargs: Any,
+) -> OrderingSolution:
+    """Find a variable ordering for ``problem`` by the chosen method.
+
+    Parameters
+    ----------
+    problem:
+        What to optimize.  For ``fs``/``constrained``/``window``: a
+        :class:`~repro.truth_table.TruthTable`, or anything
+        :func:`repro.expr.to_truth_table` accepts (pass ``n=`` for a bare
+        callable).  For ``shared``: a sequence of such.  For ``fs_star``:
+        a base :class:`~repro.core.spec.FSState` whose chain the solve
+        extends.
+    method:
+        ``"fs"`` — the exact ``O*(3^n)`` DP (the paper's Theorem 5);
+        ``"shared"`` — exact over a multi-output forest;
+        ``"constrained"`` — exact among orderings honoring
+        ``precedence=`` (a sequence of ``(earlier, later)`` pairs);
+        ``"window"`` — the Lemma-8 exact-window sweep (``initial_order=``
+        / ``width=`` / ``max_rounds=``), locally exact, globally
+        heuristic; ``"fs_star"`` — optimally place the variables of
+        ``j_mask=`` below an existing chain (Lemma 8 composability).
+    counters:
+        Optional instrumentation sink (a fresh one is created and
+        returned on the solution otherwise).
+    **engine_kwargs:
+        Uniform execution knobs, identical across methods: ``engine``,
+        ``jobs``, ``backend``, ``frontier``, ``profiler``,
+        ``checkpoint_dir``, ``resume``, ``fault_injector``, ``cache``,
+        ``budget``, ``io_retry``.
+
+    Returns
+    -------
+    OrderingSolution
+        The method-independent view; the native result object rides on
+        ``.result``.
+    """
+    if method not in METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {list(METHODS)}"
+        )
+    if counters is None:
+        counters = OperationCounters()
+    profile = engine_kwargs.get("profiler")
+
+    if method == "fs":
+        from .core.fs import run_fs
+
+        table = _as_table(problem, n)
+        result = run_fs(
+            table, rule=rule, counters=counters,
+            **_split_engine_kwargs(method, engine_kwargs),
+        )
+        return OrderingSolution(
+            method=method, n=result.n, rule=rule, order=result.order,
+            mincost=result.mincost, exact=True, counters=result.counters,
+            num_terminals=result.num_terminals, profile=profile,
+            result=result,
+        )
+
+    if method == "shared":
+        from .core.shared import run_fs_shared
+
+        tables = [_as_table(t, n) for t in problem]
+        result = run_fs_shared(
+            tables, rule=rule, counters=counters,
+            **_split_engine_kwargs(method, engine_kwargs),
+        )
+        return OrderingSolution(
+            method=method, n=result.n, rule=rule, order=result.order,
+            mincost=result.mincost, exact=True, counters=result.counters,
+            num_terminals=result.num_terminals, profile=profile,
+            result=result,
+        )
+
+    if method == "constrained":
+        from .core.constrained import run_fs_constrained
+
+        if precedence is None:
+            raise TypeError(
+                "solve(method='constrained') requires precedence= — a "
+                "sequence of (earlier, later) variable pairs"
+            )
+        table = _as_table(problem, n)
+        result = run_fs_constrained(
+            table, precedence, rule=rule, counters=counters,
+            **_split_engine_kwargs(method, engine_kwargs),
+        )
+        return OrderingSolution(
+            method=method, n=result.n, rule=rule, order=result.order,
+            mincost=result.mincost, exact=True, counters=result.counters,
+            num_terminals=result.num_terminals, profile=profile,
+            result=result,
+        )
+
+    if method == "window":
+        from .core.fs import terminal_values
+        from .core.window import window_sweep
+
+        table = _as_table(problem, n)
+        result = window_sweep(
+            table,
+            initial_order=initial_order,
+            width=width,
+            rule=rule,
+            max_rounds=max_rounds,
+            counters=counters,
+            config=_engine_config(method, engine_kwargs),
+        )
+        return OrderingSolution(
+            method=method, n=table.n, rule=rule, order=result.order,
+            mincost=result.size, exact=False, counters=result.counters,
+            num_terminals=len(terminal_values(table, rule)),
+            profile=profile, result=result,
+        )
+
+    # method == "fs_star"
+    from .core.fs_star import run_fs_star
+
+    if not isinstance(problem, FSState):
+        raise TypeError(
+            "solve(method='fs_star') takes a base FSState problem "
+            f"(got {type(problem).__name__}); build one with "
+            "repro.core.fs.initial_state and optional kernel steps"
+        )
+    if j_mask is None:
+        raise TypeError(
+            "solve(method='fs_star') requires j_mask= — the mask of "
+            "variables to place optimally below the existing chain"
+        )
+    final = run_fs_star(
+        problem, j_mask, rule, counters,
+        config=_engine_config(method, engine_kwargs),
+    )
+    return OrderingSolution(
+        method=method, n=final.n, rule=rule,
+        order=tuple(reversed(final.pi)), mincost=final.mincost,
+        exact=True, counters=counters,
+        num_terminals=final.num_terminals, profile=profile, result=final,
+    )

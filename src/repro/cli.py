@@ -27,6 +27,7 @@ from .core.astar import astar_optimal_ordering
 from .core.bruteforce import brute_force_optimal
 from .core.divide_conquer import opt_obdd
 from .core.engine import available_kernels
+from .core.executor import available_backends
 from .core.fs import run_fs
 from .observability import Profiler
 from .core.reconstruct import reconstruct_minimum_diagram
@@ -106,7 +107,8 @@ def _make_io_retry(args: argparse.Namespace):
 
 def _engine_kwargs(args: argparse.Namespace) -> dict:
     """Execution options shared by every DP-running subcommand."""
-    kwargs = dict(engine=args.engine, jobs=args.jobs)
+    kwargs = dict(engine=args.engine, jobs=args.jobs,
+                  backend=getattr(args, "backend", "thread"))
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
     resume = bool(getattr(args, "resume", False))
     if resume and not checkpoint_dir:
@@ -169,6 +171,7 @@ def _run_optimize(args: argparse.Namespace) -> int:
             rule=rule,
             engine=args.engine,
             jobs=args.jobs,
+            backend=getattr(args, "backend", "thread"),
             cache=engine_kwargs.get("cache"),
             profiler=profiler,
             checkpoint_dir=engine_kwargs.get("checkpoint_dir"),
@@ -358,6 +361,7 @@ def _run_optimize_batch(args: argparse.Namespace) -> int:
         )
     outcome = optimize_many(
         tables, rule=rule, cache=cache, engine=args.engine, jobs=args.jobs,
+        backend=getattr(args, "backend", "thread"),
         profiler=profiler,
         per_item_timeout=getattr(args, "timeout", None),
         fallback=getattr(args, "fallback", None),
@@ -440,6 +444,7 @@ def _governed_exact(table, args, profiler, rule=None):
         ladder=parse_ladder(fallback_spec),
         engine=args.engine,
         jobs=args.jobs,
+        backend=getattr(args, "backend", "thread"),
         cache=engine_kwargs.get("cache"),
         profiler=profiler,
         checkpoint_dir=engine_kwargs.get("checkpoint_dir"),
@@ -534,9 +539,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "registered via repro.core.engine.register_kernel "
                             "appear here automatically")
         p.add_argument("--jobs", type=positive_int, default=1,
-                       help="worker threads per DP layer (subsets of equal "
+                       help="workers per DP layer (subsets of equal "
                             "size are independent); results and operation "
                             "counters are identical for every value")
+        p.add_argument("--backend", choices=available_backends(),
+                       default="thread",
+                       help="where --jobs workers run: 'thread' (default; "
+                            "cheap to start but GIL-bound), 'process' "
+                            "(real multicore throughput; the base table "
+                            "ships once per run via shared memory), or "
+                            "'serial' (inline reference executor). "
+                            "Results and counters are bit-identical "
+                            "across backends")
         p.add_argument("--checkpoint-dir",
                        help="snapshot every finished DP layer into this "
                             "directory so an interrupted run can be "

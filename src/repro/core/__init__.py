@@ -74,6 +74,20 @@ from .engine import (
     register_kernel,
     run_layered_sweep,
 )
+from .executor import (
+    ChunkResult,
+    ChunkTask,
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    SweepContext,
+    ThreadBackend,
+    available_backends,
+    create_backend,
+    get_backend,
+    register_backend,
+    shared_backend,
+)
 from .divide_conquer import (
     OptOBDDResult,
     SplitCheck,
@@ -157,6 +171,18 @@ __all__ = [
     "get_kernel",
     "register_kernel",
     "run_layered_sweep",
+    "ChunkResult",
+    "ChunkTask",
+    "ExecutorBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "SweepContext",
+    "ThreadBackend",
+    "available_backends",
+    "create_backend",
+    "get_backend",
+    "register_backend",
+    "shared_backend",
     "run_fs_star",
     "fs_star_levels",
     "make_fs_star_solver",

@@ -373,6 +373,7 @@ def optimize_with_fallback(
     counters: Optional[OperationCounters] = None,
     engine: str = "numpy",
     jobs: int = 1,
+    backend: Any = "thread",
     cache: Optional[Any] = None,
     profiler: Optional[Profiler] = None,
     window_width: int = 3,
@@ -410,6 +411,11 @@ def optimize_with_fallback(
     Raises :class:`~repro.errors.BudgetExceeded` only on cancellation
     (or if a caller-supplied ladder ends with a rung that itself runs
     out — e.g. a single-rung ladder).
+
+    ``backend`` (a name or a live
+    :class:`~repro.core.executor.ExecutorBackend`) selects where the
+    ``fs`` and ``window`` rungs execute their layer chunks; it is
+    resolved once so every rung shares a single worker pool.
     """
     if counters is None:
         counters = OperationCounters()
@@ -426,62 +432,70 @@ def optimize_with_fallback(
             f"{sorted(_RUNG_RUNNERS)}"
         )
 
+    from .executor import resolve_backend  # deferred: engine-family import
+
     attempts: List[RungAttempt] = []
     seed_order: Optional[Tuple[int, ...]] = None
     last_error: Optional[BudgetExceeded] = None
+    backend_obj, owns_backend = resolve_backend(backend)
     opts = {
         "rule": rule,
         "engine": engine,
         "jobs": jobs,
+        "backend": backend_obj,
         "cache": cache,
         "profiler": profiler,
         "window_width": window_width,
         "checkpoint_dir": checkpoint_dir,
         "resume": resume,
     }
-    for index, rung in enumerate(ladder):
-        # Only cancellation stops the ladder itself; an exhausted deadline
-        # is precisely the situation the lower rungs exist for.
-        if budget.cancelled():
-            budget.check(counters=counters, where=f"ladder rung {rung!r}")
-        rungs_left = len(ladder) - index
-        remaining = budget.remaining()
-        if index == len(ladder) - 1:
-            share: Optional[float] = None  # the safety net always finishes
-        elif remaining is None:
-            share = None
-        else:
-            share = remaining / rungs_left
-        sub = budget.subbudget(share)
-        started = time.perf_counter()
-        try:
-            result = _RUNG_RUNNERS[rung](
-                table, sub, counters, seed_order, opts
-            )
-        except BudgetExceeded as exc:
+    try:
+        for index, rung in enumerate(ladder):
+            # Only cancellation stops the ladder itself; an exhausted
+            # deadline is precisely what the lower rungs exist for.
+            if budget.cancelled():
+                budget.check(counters=counters, where=f"ladder rung {rung!r}")
+            rungs_left = len(ladder) - index
+            remaining = budget.remaining()
+            if index == len(ladder) - 1:
+                share: Optional[float] = None  # the safety net always finishes
+            elif remaining is None:
+                share = None
+            else:
+                share = remaining / rungs_left
+            sub = budget.subbudget(share)
+            started = time.perf_counter()
+            try:
+                result = _RUNG_RUNNERS[rung](
+                    table, sub, counters, seed_order, opts
+                )
+            except BudgetExceeded as exc:
+                attempts.append(RungAttempt(
+                    rung=rung,
+                    status="budget_exceeded",
+                    seconds=time.perf_counter() - started,
+                    detail=str(exc),
+                ))
+                if exc.reason == "cancelled":
+                    exc.best_order = exc.best_order or seed_order
+                    raise
+                if exc.best_order is not None:
+                    seed_order = tuple(exc.best_order)
+                last_error = exc
+                continue
             attempts.append(RungAttempt(
                 rung=rung,
-                status="budget_exceeded",
+                status="ok",
                 seconds=time.perf_counter() - started,
-                detail=str(exc),
             ))
-            if exc.reason == "cancelled":
-                exc.best_order = exc.best_order or seed_order
-                raise
-            if exc.best_order is not None:
-                seed_order = tuple(exc.best_order)
-            last_error = exc
-            continue
-        attempts.append(RungAttempt(
-            rung=rung,
-            status="ok",
-            seconds=time.perf_counter() - started,
-        ))
-        if index > 0:
-            counters.add_extra("fallback_used")
-        result.attempts = attempts
-        result.counters = counters
-        return result
+            if index > 0:
+                counters.add_extra("fallback_used")
+            result.attempts = attempts
+            result.counters = counters
+            return result
+    finally:
+        if owns_backend:
+            backend_obj.close()
     assert last_error is not None
     last_error.best_order = last_error.best_order or seed_order
     raise last_error
@@ -502,6 +516,7 @@ def _run_rung_fs(
         counters=counters,
         engine=opts["engine"],
         jobs=opts["jobs"],
+        backend=opts["backend"],
         profiler=opts["profiler"],
         cache=opts["cache"],
         checkpoint_dir=opts["checkpoint_dir"],
@@ -534,6 +549,7 @@ def _run_rung_window(
     config = EngineConfig(
         kernel=opts["engine"],
         jobs=opts["jobs"],
+        backend=opts["backend"],
         profiler=opts["profiler"],
         cache=opts["cache"],
         budget=sub,

@@ -90,6 +90,7 @@ from .spec import FSState, ReductionRule
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard (budget imports .fs)
     from .budget import Budget
+    from .executor import ExecutorBackend
 
 CACHE_FORMAT = 1
 """Bumping this invalidates every existing fingerprint (entries simply
@@ -550,6 +551,7 @@ def optimize_many(
     cache: Optional[ResultCache] = None,
     engine: str = "numpy",
     jobs: int = 1,
+    backend: "Union[str, ExecutorBackend]" = "thread",
     profiler: Optional[Profiler] = None,
     per_item_timeout: Optional[float] = None,
     fallback: Union[None, str, Sequence[str]] = None,
@@ -560,11 +562,19 @@ def optimize_many(
     """Optimize a batch of tables with canonical deduplication.
 
     The batch is fingerprinted first; only the *first* table of each
-    orbit is solved (misses fan over a ``jobs``-wide worker pool, each
-    worker running the sequential engine), and every other member
-    resolves through the cache — zero kernel invocations, with the
-    stored ordering translated through that member's own canonicalizing
-    permutation.  Results are deterministic and independent of ``jobs``.
+    orbit is solved, and every other member resolves through the cache —
+    zero kernel invocations, with the stored ordering translated through
+    that member's own canonicalizing permutation.  Results are
+    deterministic and independent of ``jobs`` and ``backend``.
+
+    How ``jobs`` parallelizes depends on ``backend``: with the default
+    in-process backends, misses fan over a ``jobs``-wide thread pool,
+    each item running the sequential engine.  With ``backend="process"``
+    (or a live :class:`~repro.core.executor.ExecutorBackend` instance),
+    items run one at a time but each item fans its DP layers over one
+    process pool shared across the whole batch — the right shape when
+    items are big (layer parallelism beats item parallelism under the
+    GIL) and what keeps worker count bounded at ``jobs`` either way.
 
     Failures are **isolated per item**: a table the canonicalizer or the
     solver rejects becomes a structured :class:`BatchError` on
@@ -601,10 +611,27 @@ def optimize_many(
     """
     from .budget import Budget, handle_signals, optimize_with_fallback, \
         parse_ladder  # deferred: budget's ladder imports .fs
+    from .executor import ExecutorBackend, resolve_backend
     from .fs import run_fs  # deferred: fs imports this module
 
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    # In-process backends parallelize *across* items (thread fan-out of
+    # sequential solves); a process backend parallelizes *within* each
+    # item, sharing one pool across the batch so worker count stays
+    # bounded at ``jobs`` and pool startup is paid once.
+    share_pool = jobs > 1 and (
+        backend == "process" or isinstance(backend, ExecutorBackend)
+    )
+    batch_backend: Optional[ExecutorBackend] = None
+    owns_backend = False
+    if share_pool:
+        batch_backend, owns_backend = resolve_backend(backend)
+        solve_backend: "Union[str, ExecutorBackend]" = batch_backend
+        solve_jobs = jobs
+    else:
+        solve_backend = backend
+        solve_jobs = 1
     if cache is None:
         cache = ResultCache()
     if io_retry is not None and cache.retry is None:
@@ -665,13 +692,15 @@ def optimize_many(
                     ladder=ladder,
                     rule=rule,
                     engine=engine,
+                    jobs=solve_jobs,
+                    backend=solve_backend,
                     cache=cache,
                 )
                 status = "ok" if outcome.rung == ladder[0] else "fallback"
                 return BatchItem(index=index, status=status, result=outcome)
             result = run_fs(
-                tables[index], rule=rule, engine=engine, cache=cache,
-                budget=sub,
+                tables[index], rule=rule, engine=engine, jobs=solve_jobs,
+                backend=solve_backend, cache=cache, budget=sub,
             )
             return BatchItem(index=index, status="ok", result=result)
         except Exception as exc:
@@ -687,7 +716,7 @@ def optimize_many(
             )
 
     def run_batch() -> None:
-        if jobs > 1 and len(representatives) > 1:
+        if jobs > 1 and len(representatives) > 1 and not share_pool:
             from concurrent.futures import ThreadPoolExecutor
 
             with ThreadPoolExecutor(
@@ -736,11 +765,15 @@ def optimize_many(
             else:
                 items[i] = solve_item(i)  # resolves as a cache hit
 
-    if install_signal_handlers:
-        with handle_signals(parent):
+    try:
+        if install_signal_handlers:
+            with handle_signals(parent):
+                run_batch()
+        else:
             run_batch()
-    else:
-        run_batch()
+    finally:
+        if owns_backend and batch_backend is not None:
+            batch_backend.close()
 
     final_items = [item for item in items if item is not None]
     assert len(final_items) == len(tables)

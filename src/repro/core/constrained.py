@@ -33,6 +33,7 @@ from .spec import ReductionRule
 
 if TYPE_CHECKING:  # pragma: no cover - budget imports this package lazily
     from .budget import Budget
+    from .executor import ExecutorBackend
 
 Precedence = Sequence[Tuple[int, int]]  # (earlier, later) pairs
 
@@ -107,6 +108,7 @@ def run_fs_constrained(
     counters: Optional[OperationCounters] = None,
     engine: str = "numpy",
     jobs: int = 1,
+    backend: "str | ExecutorBackend" = "thread",
     frontier: str | FrontierPolicy = FrontierPolicy.FULL,
     profiler: Optional[Profiler] = None,
     checkpoint_dir: Optional[str] = None,
@@ -137,8 +139,8 @@ def run_fs_constrained(
     # with different constraints must never resume from each other.
     tag = "constrained:" + ",".join(f"{m:x}" for m in after)
     config = EngineConfig(
-        kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler,
-        checkpoint_dir=checkpoint_dir, resume=resume,
+        kernel=engine, jobs=jobs, backend=backend, frontier=frontier,
+        profiler=profiler, checkpoint_dir=checkpoint_dir, resume=resume,
         fault_injector=fault_injector, checkpoint_tag=tag, cache=cache,
         budget=budget, io_retry=io_retry,
     )

@@ -15,10 +15,13 @@ and interpret the outcome.  Centralizing it buys three things at once:
   dispatch;
 * **layer parallelism** — masks of equal cardinality are independent
   (Lemma 4's recurrence only reads the previous layer), so ``jobs=N``
-  fans each layer over a thread pool.  Each worker tallies into its own
+  fans each layer over a pluggable
+  :class:`~repro.core.executor.ExecutorBackend` (``serial``, ``thread``
+  or ``process``, selected via ``EngineConfig(backend=...)``; see
+  :mod:`repro.core.executor`).  Each chunk tallies into its own
   :class:`~repro.analysis.counters.OperationCounters` and the engine
   merges them in deterministic chunk order, so results *and counters*
-  are bit-identical to the sequential run;
+  are bit-identical across backends and job counts;
 * a **frontier policy** — the retained layer is the memory ceiling
   (``C(n, n/2)`` states of ``2^{n/2}`` cells each at the waist).
   :attr:`FrontierPolicy.MINCOST_ONLY` keeps only ``(pi, mincost)``
@@ -54,19 +57,23 @@ from __future__ import annotations
 
 import enum
 import time
-from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
-    TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union,
+    TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union,
 )
 
-from .._bitops import bits_of, popcount, subsets_of_size
+from .._bitops import popcount, subsets_of_size
 from ..analysis.counters import OperationCounters
-from ..errors import DimensionError, OrderingError
+from ..errors import BudgetExceeded, DimensionError
 from ..observability import Profiler, frontier_nbytes
 from .checkpoint import (
     CheckpointStore, FaultInjector, RetryPolicy, Skeleton, sweep_fingerprint,
+)
+from .executor import (
+    ChunkResult, ExecutorBackend, SweepContext, available_backends,
+    get_backend, materialize_entry, resolve_backend, split_chunks,
+    sweep_chunk,
 )
 from .spec import FSState, ReductionRule
 
@@ -154,12 +161,28 @@ def coerce_policy(policy: Union[str, "FrontierPolicy"]) -> "FrontierPolicy":
         ) from None
 
 
-@dataclass
+@dataclass(kw_only=True)
 class EngineConfig:
-    """How the engine executes a sweep (orthogonal to *what* it computes)."""
+    """How the engine executes a sweep (orthogonal to *what* it computes).
+
+    Construction is keyword-only: every field names an orthogonal
+    execution knob, and positional construction silently broke whenever
+    a knob was added between releases.
+    """
 
     kernel: str = "numpy"
     jobs: int = 1
+
+    backend: Union[str, ExecutorBackend] = "thread"
+    """Where layer chunks execute (see :mod:`repro.core.executor`):
+    ``"serial"``, ``"thread"`` (the historical default), ``"process"``
+    for real multicore throughput, or a live
+    :class:`~repro.core.executor.ExecutorBackend` instance whose pool the
+    caller owns and wants shared across several sweeps.  Results and
+    counters are bit-identical across backends; only the process
+    backend's ``tasks_shipped`` / ``bytes_shipped`` transport extras
+    differ."""
+
     frontier: FrontierPolicy = FrontierPolicy.FULL
     profiler: Optional[Profiler] = None
 
@@ -210,6 +233,13 @@ class EngineConfig:
             raise ValueError("resume=True requires checkpoint_dir")
         # Resolve eagerly so configuration errors surface at call sites.
         get_kernel(self.kernel)
+        if isinstance(self.backend, str):
+            get_backend(self.backend)
+        elif not isinstance(self.backend, ExecutorBackend):
+            raise ValueError(
+                f"backend must be a registered name {available_backends()} "
+                f"or an ExecutorBackend instance, got {self.backend!r}"
+            )
 
 
 # The skeleton entry now lives with the checkpoint codec; keep the
@@ -350,9 +380,18 @@ def run_layered_sweep(
                 start_k = restored.layer + 1
                 last_checkpoint_path = restored.path
 
-    pool: Optional[ThreadPoolExecutor] = None
-    if config.jobs > 1:
-        pool = ThreadPoolExecutor(max_workers=config.jobs)
+    backend, engine_owns_backend = resolve_backend(config.backend)
+    backend.begin_sweep(
+        SweepContext(
+            base=base,
+            kernel=config.kernel,
+            rule=rule,
+            jobs=config.jobs,
+            counters=counters,
+            budget=budget,
+            profiler=profiler,
+        )
+    )
     try:
         for k in range(start_k, upto + 1):
             if budget is not None:
@@ -381,43 +420,47 @@ def run_layered_sweep(
                 config.frontier is FrontierPolicy.FULL or k == upto
             )
             started = time.perf_counter()
-            current: Dict[int, _Entry] = {}
-            if pool is not None and len(layer_masks) > 1:
-                chunks = _split_chunks(layer_masks, config.jobs)
-                workers = [
-                    pool.submit(
-                        _sweep_chunk,
-                        chunk,
-                        previous,
-                        base,
-                        kernel,
-                        rule,
-                        retain_full,
-                        OperationCounters(),
-                    )
-                    for chunk in chunks
-                ]
-                # Merge strictly in chunk order: results are keyed by
-                # disjoint masks, and counter merge order is fixed, so the
-                # outcome is independent of thread scheduling.
-                for worker in workers:
-                    part = worker.result()
-                    current.update(part.entries)
-                    mincost_by_subset.update(part.mincost)
-                    best_last.update(part.best_last)
-                    level_cost_by_choice.update(part.level_cost)
-                    subsets_processed += part.processed
-                    counters.merge(part.counters)
-            else:
-                part = _sweep_chunk(
-                    layer_masks, previous, base, kernel, rule, retain_full,
-                    counters,
+            chunks = split_chunks(layer_masks, config.jobs)
+            parts = backend.run_layer(k, chunks, previous, retain_full)
+            if any(part.cancelled for part in parts):
+                # A process worker observed the mirrored cancellation
+                # event and stopped mid-layer.  Discard the partial layer
+                # wholesale (no merge, no checkpoint) so the abort always
+                # describes the last *committed* boundary and a resume
+                # with a bigger budget replays layer k from scratch,
+                # bit-identically.
+                best = min(entry.mincost for entry in previous.values())
+                where = f"mid-layer cancellation (during k={k})"
+                if budget is not None:
+                    with (profiler.phase("budget_check") if profiler is not None
+                          else nullcontext()):
+                        budget.check(
+                            counters=counters,
+                            layers_completed=k - 1,
+                            best_bound=best,
+                            checkpoint_path=last_checkpoint_path,
+                            where=where,
+                        )
+                raise BudgetExceeded(
+                    f"sweep cancelled during layer k={k}; "
+                    "partial results discarded",
+                    reason="cancelled",
+                    layers_completed=k - 1,
+                    best_bound=best,
+                    checkpoint_path=last_checkpoint_path,
+                    where=where,
                 )
-                current = part.entries
+            current: Dict[int, _Entry] = {}
+            # Merge strictly in chunk order: results are keyed by
+            # disjoint masks, and counter merge order is fixed, so the
+            # outcome is independent of where the chunks ran.
+            for part in parts:
+                current.update(part.entries)
                 mincost_by_subset.update(part.mincost)
                 best_last.update(part.best_last)
                 level_cost_by_choice.update(part.level_cost)
                 subsets_processed += part.processed
+                counters.merge(part.counters)
             previous = current
             if profiler is not None:
                 profiler.record_layer(
@@ -473,11 +516,12 @@ def run_layered_sweep(
                         where=f"layer boundary (after k={k})",
                     )
     finally:
-        if pool is not None:
-            pool.shutdown(wait=True)
+        backend.end_sweep()
+        if engine_owns_backend:
+            backend.close()
 
     frontier = {
-        mask: _materialize(base, entry, kernel, rule, counters)
+        mask: materialize_entry(base, entry, kernel, rule, counters)
         for mask, entry in previous.items()
     }
     return SweepOutcome(
@@ -489,95 +533,9 @@ def run_layered_sweep(
     )
 
 
-@dataclass
-class _ChunkResult:
-    entries: Dict[int, _Entry] = field(default_factory=dict)
-    mincost: Dict[int, int] = field(default_factory=dict)
-    best_last: Dict[int, int] = field(default_factory=dict)
-    level_cost: Dict[Tuple[int, int], int] = field(default_factory=dict)
-    processed: int = 0
-    counters: OperationCounters = field(default_factory=OperationCounters)
-
-
-def _split_chunks(items: Sequence[int], jobs: int) -> List[Sequence[int]]:
-    """Contiguous, deterministic near-equal split of a layer's masks."""
-    jobs = min(jobs, len(items))
-    out: List[Sequence[int]] = []
-    start = 0
-    for j in range(jobs):
-        stop = start + (len(items) - start) // (jobs - j)
-        out.append(items[start:stop])
-        start = stop
-    return [chunk for chunk in out if chunk]
-
-
-def _sweep_chunk(
-    masks: Sequence[int],
-    previous: Dict[int, _Entry],
-    base: FSState,
-    kernel: KernelFn,
-    rule: ReductionRule,
-    retain_full: bool,
-    counters: OperationCounters,
-) -> _ChunkResult:
-    """Finalize a slice of one layer (runs on a worker thread).
-
-    Reads ``previous`` without mutating it; writes only into its own
-    result, which the coordinator merges in deterministic order.
-    """
-    out = _ChunkResult(counters=counters)
-    for mask in masks:
-        best: Optional[FSState] = None
-        best_i = -1
-        for i in bits_of(mask):
-            entry = previous.get(mask & ~(1 << i))
-            if entry is None:
-                continue  # infeasible predecessor under a subset filter
-            prev_state = _materialize(base, entry, kernel, rule, counters)
-            candidate = kernel(prev_state, i, rule, counters)
-            out.level_cost[(prev_state.mask, i)] = (
-                candidate.mincost - prev_state.mincost
-            )
-            if best is None or candidate.mincost < best.mincost:
-                best = candidate
-                best_i = i
-        if best is None:
-            raise OrderingError(
-                f"no feasible chain reaches subset {mask:#x}"
-            )
-        out.entries[mask] = (
-            best if retain_full else _Skeleton(pi=best.pi, mincost=best.mincost)
-        )
-        out.mincost[mask] = best.mincost
-        out.best_last[mask] = best_i
-        out.processed += 1
-        counters.subsets_processed += 1
-    return out
-
-
-def _materialize(
-    base: FSState,
-    entry: _Entry,
-    kernel: KernelFn,
-    rule: ReductionRule,
-    counters: OperationCounters,
-) -> FSState:
-    """Turn a frontier entry back into a full state.
-
-    For a skeleton this replays its chain from ``base``.  By Lemma 3 the
-    subfunction partition at every step depends only on the subset, so
-    the rebuilt state has the same mincost (asserted) and the same level
-    costs as the one the sweep measured.  The replay work is tallied
-    under ``extra`` counters so the paper-facing totals (``table_cells``
-    == ``n * 3^{n-1}`` for a full FS run) stay exact.
-    """
-    if isinstance(entry, FSState):
-        return entry
-    scratch = OperationCounters()
-    state = base
-    for var in entry.pi[len(base.pi):]:
-        state = kernel(state, var, rule, scratch)
-    assert state.mincost == entry.mincost, "replayed chain must reproduce mincost"
-    counters.add_extra("recompute_compactions", scratch.compactions)
-    counters.add_extra("recompute_cells", scratch.table_cells)
-    return state
+# The chunk machinery moved to repro.core.executor in the backend
+# redesign; keep the historical private names importable.
+_ChunkResult = ChunkResult
+_split_chunks = split_chunks
+_sweep_chunk = sweep_chunk
+_materialize = materialize_entry

@@ -1,0 +1,805 @@
+"""Pluggable execution backends for the layered sweep.
+
+The engine (:func:`repro.core.engine.run_layered_sweep`) splits every DP
+layer into contiguous chunks of disjoint masks and hands them to an
+:class:`ExecutorBackend`; the backend decides *where* the chunks run.
+Three implementations ship:
+
+* ``serial`` — chunks run inline on the coordinator, one after another.
+* ``thread`` — chunks fan out over a lazily created
+  :class:`~concurrent.futures.ThreadPoolExecutor` (the historical
+  ``jobs>1`` behavior).  Cheap to start, but the pure-Python kernels gain
+  little under the GIL.
+* ``process`` — chunks fan out over a spawn-context
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Read-only base data
+  (the root table's bytes) is shipped once per sweep through
+  :mod:`multiprocessing.shared_memory`; per-layer work travels as a
+  picklable :class:`ChunkTask` / :class:`ChunkResult` envelope.  This is
+  the backend where ``jobs=4`` means four cores.
+
+Determinism contract: every backend executes the *same* chunks (the
+split depends only on ``jobs``), runs each chunk through the same
+:func:`sweep_chunk` routine with a fresh
+:class:`~repro.analysis.counters.OperationCounters`, and the engine
+merges chunk results in fixed chunk order — so results *and counters*
+are bit-identical across ``serial``/``thread``/``process`` and any
+``jobs`` value.  The only exception is transport accounting: the process
+backend tallies ``tasks_shipped`` / ``bytes_shipped`` extra counters
+(deterministic for a given run shape, but zero on the in-process
+backends), which are excluded from the cross-backend parity guarantee
+exactly like the frontier policy's ``recompute_*`` counters are excluded
+from the paper-facing totals.
+
+Budget propagation: the process backend mirrors the coordinator's
+:class:`~repro.core.budget.Budget` — its cooperative-cancellation event
+and its deadline — into a shared :class:`multiprocessing.Event` via a
+watcher thread; workers poll it between masks and stop early.  A chunk
+stopped that way comes back flagged ``cancelled`` and the engine
+discards the whole partial layer, so the
+:class:`~repro.errors.BudgetExceeded` it raises always describes the
+last *committed* layer boundary (checkpoint/resume semantics unchanged).
+Workers ignore ``SIGINT``; route signals through
+:func:`repro.core.budget.handle_signals` on the coordinator and they
+reach the workers through the mirrored event.
+
+Cache lookups stay coordinator-only: workers never see a
+:class:`~repro.core.cache.ResultCache`, so disk stores are not written
+from multiple processes.
+
+Lifecycle: passing a backend *name* to
+:class:`~repro.core.engine.EngineConfig` makes the engine create the
+backend for one sweep and close it afterwards.  Passing an *instance*
+leaves ownership with the caller (``begin_sweep``/``end_sweep`` still
+run per sweep) so one pool can serve many sweeps — a window sweep's
+inner FS* solves, or a whole :func:`~repro.core.cache.optimize_many`
+batch.  Pools are created lazily, on the first layer that actually has
+more than one chunk; ``jobs=1`` runs (and tiny sweeps) never pay pool
+startup.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import signal
+import threading
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Sequence,
+    Tuple, Type, Union,
+)
+
+import numpy as np
+
+from .._bitops import bits_of
+from ..analysis.counters import OperationCounters
+from ..errors import OrderingError
+from .checkpoint import Skeleton
+from .spec import FSState, ReductionRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from ..observability import Profiler
+    from .budget import Budget
+
+KernelFn = Callable[..., FSState]
+Entry = Union[FSState, Skeleton]
+"""A frontier entry: a full state, or a ``(pi, mincost)`` skeleton under
+the mincost-only frontier policy."""
+
+# Flat per-entry overhead charged by the shipping-volume estimate (dict
+# slot + dataclass header); deliberately a round constant so the
+# ``bytes_shipped`` tally is deterministic across interpreter builds.
+_ENTRY_OVERHEAD_BYTES = 64
+_SKELETON_BYTES = 32
+
+_WATCHER_POLL_SECONDS = 0.05
+
+
+def _phase(profiler: Optional["Profiler"], name: str):
+    return profiler.phase(name) if profiler is not None else nullcontext()
+
+
+# ----------------------------------------------------------------------
+# the unit of work: chunk in, chunk result out
+# ----------------------------------------------------------------------
+
+@dataclass
+class ChunkResult:
+    """What one executed chunk reports back to the coordinator.
+
+    The engine merges these strictly in chunk order — entries are keyed
+    by disjoint masks and counter merge order is fixed, so the outcome is
+    independent of scheduling (threads, processes, or inline).
+    """
+
+    index: int = 0
+    """Position of the chunk within its layer's chunk list."""
+
+    entries: Dict[int, Entry] = field(default_factory=dict)
+    mincost: Dict[int, int] = field(default_factory=dict)
+    best_last: Dict[int, int] = field(default_factory=dict)
+    level_cost: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    processed: int = 0
+    counters: OperationCounters = field(default_factory=OperationCounters)
+
+    cancelled: bool = False
+    """True when the executing worker observed the mirrored cancellation
+    event and stopped early; the engine discards the whole layer."""
+
+
+def split_chunks(items: Sequence[int], jobs: int) -> List[Sequence[int]]:
+    """Contiguous, deterministic near-equal split of a layer's masks."""
+    jobs = min(jobs, len(items))
+    out: List[Sequence[int]] = []
+    start = 0
+    for j in range(jobs):
+        stop = start + (len(items) - start) // (jobs - j)
+        out.append(items[start:stop])
+        start = stop
+    return [chunk for chunk in out if chunk]
+
+
+def sweep_chunk(
+    masks: Sequence[int],
+    previous: Dict[int, Entry],
+    base: FSState,
+    kernel: KernelFn,
+    rule: ReductionRule,
+    retain_full: bool,
+    counters: OperationCounters,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> ChunkResult:
+    """Finalize a slice of one layer (runs wherever the backend says).
+
+    Reads ``previous`` without mutating it; writes only into its own
+    result, which the coordinator merges in deterministic order.  This
+    routine is the bit-identity anchor: every backend routes every chunk
+    through it, so where a chunk ran can never change what it computed.
+
+    ``should_stop`` (the process workers' view of the mirrored
+    cancellation event) is polled between masks; a stopped chunk returns
+    with ``cancelled=True`` and whatever masks it had not reached simply
+    absent.
+    """
+    out = ChunkResult(counters=counters)
+    for mask in masks:
+        if should_stop is not None and should_stop():
+            out.cancelled = True
+            break
+        best: Optional[FSState] = None
+        best_i = -1
+        for i in bits_of(mask):
+            entry = previous.get(mask & ~(1 << i))
+            if entry is None:
+                continue  # infeasible predecessor under a subset filter
+            prev_state = materialize_entry(base, entry, kernel, rule, counters)
+            candidate = kernel(prev_state, i, rule, counters)
+            out.level_cost[(prev_state.mask, i)] = (
+                candidate.mincost - prev_state.mincost
+            )
+            if best is None or candidate.mincost < best.mincost:
+                best = candidate
+                best_i = i
+        if best is None:
+            raise OrderingError(
+                f"no feasible chain reaches subset {mask:#x}"
+            )
+        out.entries[mask] = (
+            best if retain_full else Skeleton(pi=best.pi, mincost=best.mincost)
+        )
+        out.mincost[mask] = best.mincost
+        out.best_last[mask] = best_i
+        out.processed += 1
+        counters.subsets_processed += 1
+    return out
+
+
+def materialize_entry(
+    base: FSState,
+    entry: Entry,
+    kernel: KernelFn,
+    rule: ReductionRule,
+    counters: OperationCounters,
+) -> FSState:
+    """Turn a frontier entry back into a full state.
+
+    For a skeleton this replays its chain from ``base``.  By Lemma 3 the
+    subfunction partition at every step depends only on the subset, so
+    the rebuilt state has the same mincost (asserted) and the same level
+    costs as the one the sweep measured.  The replay work is tallied
+    under ``extra`` counters so the paper-facing totals (``table_cells``
+    == ``n * 3^{n-1}`` for a full FS run) stay exact.
+    """
+    if isinstance(entry, FSState):
+        return entry
+    scratch = OperationCounters()
+    state = base
+    for var in entry.pi[len(base.pi):]:
+        state = kernel(state, var, rule, scratch)
+    assert state.mincost == entry.mincost, "replayed chain must reproduce mincost"
+    counters.add_extra("recompute_compactions", scratch.compactions)
+    counters.add_extra("recompute_cells", scratch.table_cells)
+    return state
+
+
+# ----------------------------------------------------------------------
+# backend protocol + registry
+# ----------------------------------------------------------------------
+
+@dataclass
+class SweepContext:
+    """Everything a backend needs to know about the sweep it executes.
+
+    ``counters`` is the *coordinator's* tally — backends only write
+    transport accounting (``tasks_shipped`` / ``bytes_shipped``) into
+    it; all kernel work lands in per-chunk counters the engine merges."""
+
+    base: FSState
+    kernel: str
+    rule: ReductionRule
+    jobs: int
+    counters: OperationCounters
+    budget: Optional["Budget"] = None
+    profiler: Optional["Profiler"] = None
+
+
+class ExecutorBackend(abc.ABC):
+    """Where the engine's layer chunks execute.
+
+    Subclass and :func:`register_backend` to plug in new substrates (a
+    cluster scheduler, a GPU queue, ...); the engine only ever calls the
+    four lifecycle methods below.  A backend instance serves one sweep
+    at a time (``begin_sweep``/``end_sweep`` bracket each sweep) but may
+    serve many sweeps over its life; :meth:`close` releases long-lived
+    resources such as worker pools.
+    """
+
+    name: str = "custom"
+
+    def __init__(self) -> None:
+        self._context: Optional[SweepContext] = None
+        self._kernel: Optional[KernelFn] = None
+
+    def begin_sweep(self, context: SweepContext) -> None:
+        """Adopt a sweep.  Resolves the kernel once so inline execution
+        and worker dispatch agree on the implementation."""
+        from .engine import get_kernel  # deferred: engine imports this module
+
+        self._context = context
+        self._kernel = get_kernel(context.kernel)
+
+    @abc.abstractmethod
+    def run_layer(
+        self,
+        layer: int,
+        chunks: Sequence[Sequence[int]],
+        previous: Dict[int, Entry],
+        retain_full: bool,
+    ) -> List[ChunkResult]:
+        """Execute one layer's chunks; return results in chunk order."""
+
+    def end_sweep(self) -> None:
+        """Release per-sweep resources (shared memory, watcher threads);
+        the backend stays usable for the next ``begin_sweep``."""
+        self._context = None
+        self._kernel = None
+
+    def close(self) -> None:
+        """Release everything, worker pools included."""
+
+    def __enter__(self) -> "ExecutorBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # Shared by serial execution and every backend's single-chunk
+    # fast path: same fresh-counters-per-chunk structure as the pooled
+    # paths, so where a chunk ran never shows in the numbers.
+    def _run_inline(
+        self,
+        chunks: Sequence[Sequence[int]],
+        previous: Dict[int, Entry],
+        retain_full: bool,
+    ) -> List[ChunkResult]:
+        context, kernel = self._context, self._kernel
+        assert context is not None and kernel is not None, (
+            "run_layer called outside begin_sweep/end_sweep"
+        )
+        results: List[ChunkResult] = []
+        for index, chunk in enumerate(chunks):
+            part = sweep_chunk(
+                chunk, previous, context.base, kernel, context.rule,
+                retain_full, OperationCounters(),
+            )
+            part.index = index
+            results.append(part)
+        return results
+
+
+_BACKENDS: Dict[str, Type[ExecutorBackend]] = {}
+
+
+def register_backend(name: str) -> Callable[[Type[ExecutorBackend]], Type[ExecutorBackend]]:
+    """Class decorator registering a backend under ``name``.
+
+    Registered names become valid for ``EngineConfig(backend=...)`` and
+    the CLI ``--backend`` flag, mirroring the kernel registry."""
+
+    def decorate(cls: Type[ExecutorBackend]) -> Type[ExecutorBackend]:
+        _BACKENDS[name] = cls
+        return cls
+
+    return decorate
+
+
+def get_backend(name: str) -> Type[ExecutorBackend]:
+    """Resolve a registered backend class; ``ValueError`` on unknown names."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {available_backends()}"
+        ) from None
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted (for CLI choices and errors)."""
+    return sorted(_BACKENDS)
+
+
+def create_backend(name: str, jobs: Optional[int] = None) -> ExecutorBackend:
+    """Instantiate a registered backend (``jobs`` caps its pool width;
+    defaults to each sweep's ``EngineConfig.jobs``)."""
+    return get_backend(name)(jobs=jobs)
+
+
+def resolve_backend(
+    spec: Union[str, ExecutorBackend],
+) -> Tuple[ExecutorBackend, bool]:
+    """``(backend, engine_owned)`` for an ``EngineConfig.backend`` value.
+
+    A string creates a fresh engine-owned backend (closed after the
+    sweep); an instance stays caller-owned (only ``begin_sweep`` /
+    ``end_sweep`` run), which is how one pool serves many sweeps.
+    """
+    if isinstance(spec, ExecutorBackend):
+        return spec, False
+    return create_backend(spec), True
+
+
+@contextmanager
+def shared_backend(config: Any) -> Iterator[Any]:
+    """Pin ``config.backend`` to one live instance for a whole block.
+
+    Entry points that run *many* sweeps per call (a window sweep's inner
+    FS* solves, a fallback ladder) use this so a string backend spec
+    costs one pool, not one pool per sweep.  Yields ``config`` itself
+    when it is ``None`` or already carries an instance.
+    """
+    if config is None or isinstance(config.backend, ExecutorBackend):
+        yield config
+        return
+    backend = create_backend(config.backend)
+    try:
+        yield replace(config, backend=backend)
+    finally:
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# serial + thread backends
+# ----------------------------------------------------------------------
+
+@register_backend("serial")
+class SerialBackend(ExecutorBackend):
+    """Chunks run inline on the coordinator — the reference executor."""
+
+    name = "serial"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        super().__init__()
+        self._jobs = jobs  # accepted for interface symmetry; unused
+
+    def run_layer(
+        self,
+        layer: int,
+        chunks: Sequence[Sequence[int]],
+        previous: Dict[int, Entry],
+        retain_full: bool,
+    ) -> List[ChunkResult]:
+        return self._run_inline(chunks, previous, retain_full)
+
+
+@register_backend("thread")
+class ThreadBackend(ExecutorBackend):
+    """Chunks fan out over a lazily created thread pool.
+
+    The pool is created on the first layer that has more than one chunk
+    (``jobs=1`` sweeps never pay pool startup) and persists across
+    sweeps until :meth:`close`.  Workers share the coordinator's memory,
+    so nothing is shipped and no transport counters are tallied.
+    """
+
+    name = "thread"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        super().__init__()
+        self._jobs = jobs
+        self._pool: Optional[Any] = None
+
+    def run_layer(
+        self,
+        layer: int,
+        chunks: Sequence[Sequence[int]],
+        previous: Dict[int, Entry],
+        retain_full: bool,
+    ) -> List[ChunkResult]:
+        if len(chunks) <= 1:
+            return self._run_inline(chunks, previous, retain_full)
+        context, kernel = self._context, self._kernel
+        assert context is not None and kernel is not None
+        pool = self._ensure_pool(context)
+        futures = [
+            pool.submit(
+                sweep_chunk, chunk, previous, context.base, kernel,
+                context.rule, retain_full, OperationCounters(),
+            )
+            for chunk in chunks
+        ]
+        results: List[ChunkResult] = []
+        for index, future in enumerate(futures):
+            part = future.result()
+            part.index = index
+            results.append(part)
+        return results
+
+    def _ensure_pool(self, context: SweepContext) -> Any:
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._jobs or context.jobs
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# ----------------------------------------------------------------------
+# process backend
+# ----------------------------------------------------------------------
+
+@dataclass
+class ChunkTask:
+    """Picklable envelope carrying one chunk to a worker process.
+
+    The base table travels *once per sweep* through shared memory
+    (``shm_name`` + ``base_spec`` let every worker rebuild the base
+    state and cache it under ``token``); the task itself carries only
+    the chunk's masks and the predecessor entries those masks actually
+    read — full states under the FULL frontier policy, ``(pi, mincost)``
+    skeletons under MINCOST_ONLY (workers replay them from the shared
+    base exactly as the in-process backends do, so the ``recompute_*``
+    counters stay bit-identical).
+    """
+
+    token: str
+    shm_name: str
+    base_spec: Dict[str, Any]
+    kernel: str
+    rule_value: str
+    layer: int
+    index: int
+    masks: Tuple[int, ...]
+    entries: Dict[int, Entry]
+    retain_full: bool
+    payload_bytes: int = 0
+
+
+# Worker-process globals (populated by the pool initializer and the
+# first task of each sweep; one sweep's base is cached per worker).
+_WORKER_CANCEL: Optional[Any] = None
+_WORKER_SWEEP: Optional[Tuple[str, Any, FSState, KernelFn, ReductionRule]] = None
+
+
+def _worker_initializer(cancel_event: Any) -> None:
+    """Runs once in every spawned worker: keep Ctrl-C cooperative.
+
+    SIGINT is ignored so a terminal interrupt hits only the coordinator,
+    whose :func:`~repro.core.budget.handle_signals` turns it into the
+    cancellation event the workers actually poll."""
+    global _WORKER_CANCEL
+    _WORKER_CANCEL = cancel_event
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+
+def _worker_bind_sweep(task: ChunkTask) -> Tuple[str, Any, FSState, KernelFn, ReductionRule]:
+    """Attach this worker to the task's sweep (cached per token).
+
+    The previous sweep's shared-memory attachment is closed when a new
+    token arrives, so long-lived pools (batch mode) hold at most one
+    base mapping per worker.
+    """
+    global _WORKER_SWEEP
+    if _WORKER_SWEEP is not None and _WORKER_SWEEP[0] == task.token:
+        return _WORKER_SWEEP
+    if _WORKER_SWEEP is not None:
+        try:
+            _WORKER_SWEEP[1].close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        _WORKER_SWEEP = None
+    from multiprocessing import shared_memory
+
+    # The coordinator owns the segment's lifetime; a worker attachment
+    # must not register it with the (shared) resource tracker, whose
+    # name cache is a set — duplicate registrations collapse, so any
+    # worker-side entry would unbalance the coordinator's own
+    # register/unregister pair and spew KeyErrors at unlink time.
+    try:
+        shm = shared_memory.SharedMemory(name=task.shm_name, track=False)
+    except TypeError:  # Python < 3.13: no track=; suppress registration
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda name, rtype: None
+        try:
+            shm = shared_memory.SharedMemory(name=task.shm_name)
+        finally:
+            resource_tracker.register = original_register
+    spec = task.base_spec
+    cells = np.ndarray(
+        (int(spec["cells"]),), dtype=np.dtype(spec["dtype"]), buffer=shm.buf
+    )
+    cells.flags.writeable = False
+    base = FSState(
+        n=int(spec["n"]),
+        mask=int(spec["mask"]),
+        pi=tuple(int(v) for v in spec["pi"]),
+        mincost=int(spec["mincost"]),
+        table=cells,
+        num_terminals=int(spec["num_terminals"]),
+        num_roots=int(spec["num_roots"]),
+    )
+    from .engine import get_kernel
+
+    _WORKER_SWEEP = (
+        task.token, shm, base, get_kernel(task.kernel),
+        ReductionRule(task.rule_value),
+    )
+    return _WORKER_SWEEP
+
+
+def _run_chunk_task(task: ChunkTask) -> ChunkResult:
+    """Worker entry point: execute one shipped chunk."""
+    _, _, base, kernel, rule = _worker_bind_sweep(task)
+    previous: Dict[int, Entry] = dict(task.entries)
+    previous[0] = base  # the base entry never ships; it lives in shm
+    cancel = _WORKER_CANCEL
+    out = sweep_chunk(
+        task.masks, previous, base, kernel, rule, task.retain_full,
+        OperationCounters(),
+        should_stop=cancel.is_set if cancel is not None else None,
+    )
+    out.index = task.index
+    return out
+
+
+@register_backend("process")
+class ProcessBackend(ExecutorBackend):
+    """Chunks fan out over a spawn-context process pool.
+
+    Per sweep, the base table is copied once into a
+    :class:`multiprocessing.shared_memory.SharedMemory` segment; per
+    layer, each chunk ships only its masks plus the predecessor entries
+    it reads (see :class:`ChunkTask`).  Shipping volume is tallied in
+    the ``tasks_shipped`` / ``bytes_shipped`` extra counters and the
+    submit/collect wall-clock under the ``ipc_submit`` / ``ipc_merge``
+    profiler phases.
+
+    The coordinator's budget is mirrored into the workers by a watcher
+    thread that sets a shared :class:`multiprocessing.Event` when the
+    budget is cancelled or its deadline expires; workers poll it between
+    masks.  Single-chunk layers run inline — no pool, no shipping — so
+    ``jobs=1`` process runs are exactly serial runs.
+
+    Worker-side kernels resolve by *name*, so only kernels registered at
+    import time (the built-ins, or plugins registered by an imported
+    module) are reachable; in-process custom kernels need the ``thread``
+    or ``serial`` backend.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        super().__init__()
+        self._jobs = jobs
+        self._pool: Optional[Any] = None
+        self._cancel_event: Optional[Any] = None
+        self._token_seq = 0
+        self._sweep_token: Optional[str] = None
+        self._shm: Optional[Any] = None
+        self._base_spec: Optional[Dict[str, Any]] = None
+        self._watcher: Optional[Tuple[threading.Thread, threading.Event]] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def begin_sweep(self, context: SweepContext) -> None:
+        super().begin_sweep(context)
+        if self._cancel_event is not None:
+            budget = context.budget
+            if budget is None or not budget.cancelled():
+                # A previous sweep's abort must not poison this one.
+                self._cancel_event.clear()
+
+    def end_sweep(self) -> None:
+        self._stop_watcher()
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+            self._shm = None
+        self._sweep_token = None
+        self._base_spec = None
+        super().end_sweep()
+
+    def close(self) -> None:
+        self.end_sweep()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._cancel_event = None
+
+    # -- execution -----------------------------------------------------
+
+    def run_layer(
+        self,
+        layer: int,
+        chunks: Sequence[Sequence[int]],
+        previous: Dict[int, Entry],
+        retain_full: bool,
+    ) -> List[ChunkResult]:
+        if len(chunks) <= 1:
+            return self._run_inline(chunks, previous, retain_full)
+        context = self._context
+        assert context is not None
+        self._ensure_pool(context)
+        self._ensure_sweep_shipped(context)
+        profiler = context.profiler
+        with _phase(profiler, "ipc_submit"):
+            tasks = [
+                self._make_task(layer, index, chunk, previous, retain_full)
+                for index, chunk in enumerate(chunks)
+            ]
+            futures = [self._pool.submit(_run_chunk_task, t) for t in tasks]
+            context.counters.add_extra("tasks_shipped", len(tasks))
+            context.counters.add_extra(
+                "bytes_shipped", sum(t.payload_bytes for t in tasks)
+            )
+        with _phase(profiler, "ipc_merge"):
+            results = [future.result() for future in futures]
+        return results
+
+    def _make_task(
+        self,
+        layer: int,
+        index: int,
+        chunk: Sequence[int],
+        previous: Dict[int, Entry],
+        retain_full: bool,
+    ) -> ChunkTask:
+        context = self._context
+        assert context is not None and self._base_spec is not None
+        assert self._sweep_token is not None and self._shm is not None
+        needed: Dict[int, Entry] = {}
+        payload = len(chunk) * 8
+        for mask in chunk:
+            for i in bits_of(mask):
+                pmask = mask & ~(1 << i)
+                if pmask == 0 or pmask in needed:
+                    continue
+                entry = previous.get(pmask)
+                if entry is None:
+                    continue
+                needed[pmask] = entry
+                if isinstance(entry, FSState):
+                    payload += int(entry.table.nbytes) + _ENTRY_OVERHEAD_BYTES
+                else:
+                    payload += _SKELETON_BYTES
+        return ChunkTask(
+            token=self._sweep_token,
+            shm_name=self._shm.name,
+            base_spec=self._base_spec,
+            kernel=context.kernel,
+            rule_value=context.rule.value,
+            layer=layer,
+            index=index,
+            masks=tuple(chunk),
+            entries=needed,
+            retain_full=retain_full,
+            payload_bytes=payload,
+        )
+
+    # -- plumbing ------------------------------------------------------
+
+    def _ensure_pool(self, context: SweepContext) -> None:
+        if self._pool is not None:
+            return
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        mp = multiprocessing.get_context("spawn")
+        self._cancel_event = mp.Event()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self._jobs or context.jobs,
+            mp_context=mp,
+            initializer=_worker_initializer,
+            initargs=(self._cancel_event,),
+        )
+
+    def _ensure_sweep_shipped(self, context: SweepContext) -> None:
+        if self._sweep_token is not None:
+            return
+        from multiprocessing import shared_memory
+
+        self._token_seq += 1
+        self._sweep_token = f"{os.getpid()}-{id(self):x}-{self._token_seq}"
+        table = np.ascontiguousarray(context.base.table)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, table.nbytes))
+        view = np.ndarray(table.shape, dtype=table.dtype, buffer=shm.buf)
+        np.copyto(view, table)
+        self._shm = shm
+        base = context.base
+        self._base_spec = {
+            "n": base.n,
+            "mask": base.mask,
+            "pi": [int(v) for v in base.pi],
+            "mincost": base.mincost,
+            "num_terminals": base.num_terminals,
+            "num_roots": base.num_roots,
+            "cells": int(table.shape[0]),
+            "dtype": str(table.dtype),
+        }
+        context.counters.add_extra("bytes_shipped", int(table.nbytes))
+        if context.budget is not None:
+            self._start_watcher(context.budget)
+
+    def _start_watcher(self, budget: "Budget") -> None:
+        if self._watcher is not None or self._cancel_event is None:
+            return
+        stop = threading.Event()
+        cancel_event = self._cancel_event
+
+        def watch() -> None:
+            while not stop.wait(_WATCHER_POLL_SECONDS):
+                if budget.cancelled():
+                    cancel_event.set()
+                    return
+                remaining = budget.remaining()
+                if remaining is not None and remaining <= 0:
+                    cancel_event.set()
+                    return
+
+        thread = threading.Thread(
+            target=watch, name="repro-budget-mirror", daemon=True
+        )
+        thread.start()
+        self._watcher = (thread, stop)
+
+    def _stop_watcher(self) -> None:
+        if self._watcher is None:
+            return
+        thread, stop = self._watcher
+        stop.set()
+        thread.join(timeout=1.0)
+        self._watcher = None

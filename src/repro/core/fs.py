@@ -40,6 +40,7 @@ from .spec import FSState, ReductionRule
 
 if TYPE_CHECKING:  # pragma: no cover - budget imports fs lazily
     from .budget import Budget
+    from .executor import ExecutorBackend
 
 CompactFn = Callable[..., FSState]
 
@@ -194,6 +195,7 @@ def run_fs(
     counters: Optional[OperationCounters] = None,
     engine: str = "numpy",
     jobs: int = 1,
+    backend: Union[str, "ExecutorBackend"] = "thread",
     frontier: Union[str, FrontierPolicy] = FrontierPolicy.FULL,
     profiler: Optional[Profiler] = None,
     checkpoint_dir: Optional[str] = None,
@@ -220,9 +222,15 @@ def run_fs(
         slower, for validation/ablation).  See
         :func:`repro.core.engine.available_kernels`.
     jobs:
-        Fan each DP layer over this many worker threads (masks of equal
+        Fan each DP layer over this many workers (masks of equal
         cardinality are independent).  Results and counters are
         bit-identical for every value.
+    backend:
+        Where those workers run — ``"serial"``, ``"thread"`` (default)
+        or ``"process"`` for real multicore throughput, or a live
+        :class:`repro.core.executor.ExecutorBackend` instance to share
+        one pool across several runs.  Results and counters are
+        bit-identical across backends (see :mod:`repro.core.executor`).
     frontier:
         Layer-retention policy; ``"mincost"`` trades recompute time for
         an ``O(2^n)`` peak frontier (see
@@ -271,8 +279,8 @@ def run_fs(
     if counters is None:
         counters = OperationCounters()
     config = EngineConfig(
-        kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler,
-        checkpoint_dir=checkpoint_dir, resume=resume,
+        kernel=engine, jobs=jobs, backend=backend, frontier=frontier,
+        profiler=profiler, checkpoint_dir=checkpoint_dir, resume=resume,
         fault_injector=fault_injector, cache=cache,
         budget=budget, io_retry=io_retry,
     )
@@ -303,6 +311,11 @@ def run_fs(
         profiler.meta.setdefault("rule", rule.value)
         profiler.meta.setdefault("kernel", engine)
         profiler.meta.setdefault("jobs", jobs)
+        profiler.meta.setdefault(
+            "backend",
+            backend if isinstance(backend, str)
+            else getattr(backend, "name", type(backend).__name__),
+        )
         profiler.meta.setdefault(
             "frontier", config.frontier.value
         )
@@ -387,7 +400,19 @@ def _kernel_name_of(fn: CompactFn) -> str:
 
 
 def _engine(engine: str) -> CompactFn:
-    """Deprecated alias for :func:`repro.core.engine.get_kernel`."""
+    """Deprecated alias for :func:`repro.core.engine.get_kernel`.
+
+    The last remnant of the pre-registry ``if engine ==`` string
+    dispatch; it now warns so stragglers migrate to the kernel registry.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.core.fs._engine() is deprecated; use "
+        "repro.core.engine.get_kernel() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return get_kernel(engine)
 
 
@@ -397,6 +422,7 @@ def find_optimal_ordering(
     rule: ReductionRule = ReductionRule.BDD,
     engine: str = "numpy",
     jobs: int = 1,
+    backend: Union[str, "ExecutorBackend"] = "thread",
 ) -> FSResult:
     """Convenience front end accepting any evaluable representation.
 
@@ -412,4 +438,4 @@ def find_optimal_ordering(
         table = source
     else:
         table = to_truth_table(source, n)
-    return run_fs(table, rule=rule, engine=engine, jobs=jobs)
+    return run_fs(table, rule=rule, engine=engine, jobs=jobs, backend=backend)

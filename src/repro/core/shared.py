@@ -41,6 +41,7 @@ from .spec import FSState, ReductionRule
 
 if TYPE_CHECKING:  # pragma: no cover - budget imports this package lazily
     from .budget import Budget
+    from .executor import ExecutorBackend
 
 
 def initial_state_shared(
@@ -104,6 +105,7 @@ def run_fs_shared(
     counters: Optional[OperationCounters] = None,
     engine: str = "numpy",
     jobs: int = 1,
+    backend: "str | ExecutorBackend" = "thread",
     frontier: str | FrontierPolicy = FrontierPolicy.FULL,
     profiler: Optional[Profiler] = None,
     checkpoint_dir: Optional[str] = None,
@@ -118,7 +120,7 @@ def run_fs_shared(
     Same complexity as single-output FS up to the factor ``m`` in table
     sizes; returns an :class:`~repro.core.fs.FSResult` whose ``mincost``
     counts the *shared* internal nodes of the whole forest.  Execution
-    options (``engine``/``jobs``/``frontier``/``profiler``/
+    options (``engine``/``jobs``/``backend``/``frontier``/``profiler``/
     ``checkpoint_dir``/``resume``/``cache``/``budget``/``io_retry``) match
     :func:`repro.core.fs.run_fs` — the same engine runs both DPs, and a
     single-output shared call shares cache entries with ``run_fs`` (the
@@ -130,8 +132,8 @@ def run_fs_shared(
     if counters is None:
         counters = OperationCounters()
     config = EngineConfig(
-        kernel=engine, jobs=jobs, frontier=frontier, profiler=profiler,
-        checkpoint_dir=checkpoint_dir, resume=resume,
+        kernel=engine, jobs=jobs, backend=backend, frontier=frontier,
+        profiler=profiler, checkpoint_dir=checkpoint_dir, resume=resume,
         fault_injector=fault_injector, cache=cache,
         budget=budget, io_retry=io_retry,
     )

@@ -51,6 +51,20 @@ class TestOptimize:
         with pytest.raises(SystemExit):
             run("optimize", "--expr", "x0", "--engine", "cuda")
 
+    def test_backend_flags_agree(self, run):
+        expr = "x0 & x1 | x2 & x3"
+        _, reference, _ = run("optimize", "--expr", expr)
+        for extra in (["--backend", "serial"],
+                      ["--backend", "thread", "--jobs", "2"],
+                      ["--backend", "process", "--jobs", "2"]):
+            code, out, _ = run("optimize", "--expr", expr, *extra)
+            assert code == 0
+            assert out == reference
+
+    def test_unknown_backend_rejected(self, run):
+        with pytest.raises(SystemExit):
+            run("optimize", "--expr", "x0", "--backend", "gpu")
+
     def test_profile_flag_writes_trajectory(self, run, tmp_path):
         path = tmp_path / "profile.json"
         code, out, _ = run(

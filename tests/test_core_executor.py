@@ -1,0 +1,368 @@
+"""Tests for the pluggable execution backends (:mod:`repro.core.executor`).
+
+The backend redesign's contract: ``serial``, ``thread`` and ``process``
+backends run the *same* chunks through the *same* kernels and merge in
+the *same* fixed order, so results AND operation counters are
+bit-identical for every ``backend x jobs x FrontierPolicy`` cell.  The
+one sanctioned exception: the process backend's ``tasks_shipped`` /
+``bytes_shipped`` transport tallies, which in-process backends never
+emit.  Budgets (deadline + cooperative cancellation, including SIGINT)
+must propagate across the process boundary, and checkpoint/resume must
+behave identically under every backend.
+
+Process-backed tests share one module-scoped ``ProcessBackend`` so the
+interpreter-spawn cost is paid once, not per test.
+"""
+
+import os
+import signal
+import threading
+import warnings
+
+import pytest
+
+from repro.analysis.counters import OperationCounters
+from repro.core import (
+    Budget,
+    EngineConfig,
+    ExecutorBackend,
+    FrontierPolicy,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    create_backend,
+    get_backend,
+    handle_signals,
+    initial_state,
+    register_backend,
+    run_fs,
+    run_fs_constrained,
+    run_fs_shared,
+    run_fs_star,
+    window_sweep,
+)
+from repro.core import executor as executor_module
+from repro.core.executor import resolve_backend, shared_backend, split_chunks
+from repro.errors import BudgetExceeded
+from repro.truth_table import TruthTable
+
+
+def paper_counters(counters):
+    """Counter snapshot minus the process backend's transport tallies.
+
+    ``tasks_shipped`` / ``bytes_shipped`` are coordinator-side transport
+    accounting that in-process backends never emit; everything else must
+    be bit-identical across backends.
+    """
+    snap = counters.snapshot()
+    snap.pop("tasks_shipped", None)
+    snap.pop("bytes_shipped", None)
+    return snap
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    """One spawned pool for the whole module (spawn cost is seconds)."""
+    backend = ProcessBackend(jobs=4)
+    yield backend
+    backend.close()
+
+
+# ----------------------------------------------------------------------
+# registry + config plumbing
+# ----------------------------------------------------------------------
+
+class TestBackendRegistry:
+    def test_builtins_registered(self):
+        assert {"serial", "thread", "process"} <= set(available_backends())
+
+    def test_get_backend_resolves_classes(self):
+        assert get_backend("serial") is SerialBackend
+        assert get_backend("thread") is ThreadBackend
+        assert get_backend("process") is ProcessBackend
+
+    def test_unknown_backend_raises_with_choices(self):
+        with pytest.raises(ValueError, match="serial"):
+            get_backend("gpu")
+        with pytest.raises(ValueError):
+            run_fs(TruthTable.random(2, seed=0), backend="gpu")
+
+    def test_config_validates_backend(self):
+        with pytest.raises(ValueError):
+            EngineConfig(backend="nope")
+        with pytest.raises(ValueError):
+            EngineConfig(backend=42)
+        assert EngineConfig(backend="serial").backend == "serial"
+        inst = SerialBackend()
+        assert EngineConfig(backend=inst).backend is inst
+
+    def test_config_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            EngineConfig("numpy")  # positional args no longer accepted
+
+    def test_custom_backend_registrable(self):
+        @register_backend("tracing")
+        class TracingBackend(SerialBackend):
+            name = "tracing"
+            calls = []
+
+            def run_layer(self, layer, chunks, previous, retain_full):
+                type(self).calls.append(layer)
+                return super().run_layer(layer, chunks, previous, retain_full)
+
+        try:
+            tt = TruthTable.random(4, seed=4)
+            result = run_fs(tt, backend="tracing")
+            assert result.mincost == run_fs(tt, backend="serial").mincost
+            assert TracingBackend.calls == [1, 2, 3, 4]
+            assert isinstance(create_backend("tracing"), TracingBackend)
+        finally:
+            del executor_module._BACKENDS["tracing"]
+
+    def test_resolve_backend_ownership(self):
+        owned, engine_owns = resolve_backend("serial")
+        assert isinstance(owned, SerialBackend) and engine_owns
+        inst = ThreadBackend(jobs=2)
+        try:
+            same, engine_owns = resolve_backend(inst)
+            assert same is inst and not engine_owns
+        finally:
+            inst.close()
+
+    def test_shared_backend_pins_one_instance(self):
+        config = EngineConfig(backend="serial")
+        with shared_backend(config) as pinned:
+            assert isinstance(pinned.backend, SerialBackend)
+        # None and instance-carrying configs pass through untouched.
+        with shared_backend(None) as passthrough:
+            assert passthrough is None
+
+    def test_deprecated_fs_engine_shim_warns(self):
+        from repro.core import fs as fs_module
+
+        with pytest.warns(DeprecationWarning):
+            kernel = fs_module._engine("numpy")
+        assert callable(kernel)
+
+
+# ----------------------------------------------------------------------
+# bit-identical parity matrix: backend x jobs x frontier
+# ----------------------------------------------------------------------
+
+class TestParityMatrix:
+    TABLE = TruthTable.random(6, seed=13)
+
+    _REFERENCES = {}
+
+    @classmethod
+    def reference(cls, frontier):
+        """Serial jobs=1 baseline, per frontier policy (replay under the
+        mincost-only frontier adds ``recompute_*`` extras that every
+        backend must reproduce identically)."""
+        if frontier not in cls._REFERENCES:
+            counters = OperationCounters()
+            result = run_fs(cls.TABLE, counters=counters, backend="serial",
+                            jobs=1, frontier=frontier)
+            cls._REFERENCES[frontier] = (result, counters.snapshot())
+        return cls._REFERENCES[frontier]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize("frontier",
+                             [FrontierPolicy.FULL, FrontierPolicy.MINCOST_ONLY])
+    def test_in_process_backends_bit_identical(self, backend, jobs,
+                                               frontier):
+        ref, ref_counters = self.reference(frontier)
+        counters = OperationCounters()
+        result = run_fs(self.TABLE, counters=counters, backend=backend,
+                        jobs=jobs, frontier=frontier)
+        assert result.mincost == ref.mincost
+        assert result.order == ref.order
+        assert result.pi == ref.pi
+        # In-process backends ship nothing: exact snapshot equality.
+        assert counters.snapshot() == ref_counters
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize("frontier",
+                             [FrontierPolicy.FULL, FrontierPolicy.MINCOST_ONLY])
+    def test_process_backend_bit_identical(self, jobs, frontier,
+                                           process_pool):
+        ref, ref_counters = self.reference(frontier)
+        backend = process_pool if jobs > 1 else "process"
+        counters = OperationCounters()
+        result = run_fs(self.TABLE, counters=counters, backend=backend,
+                        jobs=jobs, frontier=frontier)
+        assert result.mincost == ref.mincost
+        assert result.order == ref.order
+        assert result.pi == ref.pi
+        assert paper_counters(counters) == ref_counters
+
+    def test_process_jobs1_never_spawns(self):
+        backend = ProcessBackend()
+        try:
+            run_fs(self.TABLE, backend=backend, jobs=1)
+            assert backend._pool is None  # every layer ran inline
+        finally:
+            backend.close()
+
+    def test_thread_jobs1_never_spawns(self):
+        backend = ThreadBackend()
+        try:
+            run_fs(self.TABLE, backend=backend, jobs=1)
+            assert backend._pool is None
+        finally:
+            backend.close()
+
+    def test_split_chunks_shapes(self):
+        masks = list(range(10))
+        assert split_chunks(masks, 1) == [masks]
+        chunks = split_chunks(masks, 4)
+        assert [m for chunk in chunks for m in chunk] == masks
+        assert len(chunks) <= 4
+
+
+# ----------------------------------------------------------------------
+# every DP entry point, process backend
+# ----------------------------------------------------------------------
+
+class TestProcessBackendAcrossEntryPoints:
+    def test_shared(self, process_pool):
+        tables = [TruthTable.random(5, seed=s) for s in (1, 2)]
+        serial = run_fs_shared(tables, counters=OperationCounters(),
+                               backend="serial")
+        counters = OperationCounters()
+        par = run_fs_shared(tables, counters=counters,
+                            backend=process_pool, jobs=4)
+        assert par.mincost == serial.mincost
+        assert par.order == serial.order
+        assert paper_counters(counters) == paper_counters(serial.counters)
+
+    def test_constrained(self, process_pool):
+        table = TruthTable.random(6, seed=3)
+        precedence = [(0, 2), (1, 3)]
+        serial = run_fs_constrained(table, precedence, backend="serial")
+        par = run_fs_constrained(table, precedence,
+                                 backend=process_pool, jobs=4)
+        assert par.mincost == serial.mincost
+        assert par.order == serial.order
+        assert (paper_counters(par.counters)
+                == paper_counters(serial.counters))
+
+    def test_window(self, process_pool):
+        table = TruthTable.random(7, seed=7)
+        serial = window_sweep(table, width=4,
+                              config=EngineConfig(backend="serial"))
+        par = window_sweep(table, width=4,
+                           config=EngineConfig(backend=process_pool, jobs=4))
+        assert par.size == serial.size
+        assert par.order == serial.order
+
+    def test_fs_star(self, process_pool):
+        base = initial_state(TruthTable.random(6, seed=11))
+        j_mask = 0b111111
+        serial_counters = OperationCounters()
+        serial = run_fs_star(base, j_mask, counters=serial_counters,
+                             config=EngineConfig(backend="serial"))
+        par_counters = OperationCounters()
+        par = run_fs_star(base, j_mask, counters=par_counters,
+                          config=EngineConfig(backend=process_pool, jobs=4))
+        assert par.mincost == serial.mincost
+        assert par.pi == serial.pi
+        assert paper_counters(par_counters) == paper_counters(serial_counters)
+
+
+# ----------------------------------------------------------------------
+# budget propagation across the process boundary
+# ----------------------------------------------------------------------
+
+class TestProcessBudget:
+    def test_deadline_aborts_at_committed_boundary(self, process_pool,
+                                                   tmp_path):
+        table = TruthTable.random(12, seed=42)
+        with pytest.raises(BudgetExceeded) as info:
+            run_fs(table, backend=process_pool, jobs=4,
+                   checkpoint_dir=str(tmp_path / "ck"),
+                   budget=Budget(deadline=0.05))
+        exc = info.value
+        assert exc.reason == "deadline"
+        assert exc.layers_completed is not None and exc.layers_completed >= 0
+
+    def test_pre_cancelled_budget_aborts_promptly(self, process_pool):
+        budget = Budget()
+        budget.cancel.set()
+        with pytest.raises(BudgetExceeded) as info:
+            run_fs(TruthTable.random(8, seed=5), backend=process_pool,
+                   jobs=4, budget=budget)
+        assert info.value.reason == "cancelled"
+
+    def test_pool_survives_abort(self, process_pool):
+        """The shared pool stays usable after a budget abort."""
+        result = run_fs(TruthTable.random(6, seed=13),
+                        backend=process_pool, jobs=4)
+        assert result.mincost == run_fs(TruthTable.random(6, seed=13),
+                                        backend="serial").mincost
+
+    def test_sigint_routed_to_coordinator_not_workers(self, process_pool):
+        """SIGINT cancels cooperatively; workers ignore the signal."""
+        table = TruthTable.random(11, seed=9)
+        budget = Budget()
+        with handle_signals(budget) as installed:
+            if not installed:
+                pytest.skip("not on the main thread")
+            timer = threading.Timer(
+                0.3, os.kill, args=(os.getpid(), signal.SIGINT))
+            timer.start()
+            try:
+                with pytest.raises(BudgetExceeded) as info:
+                    run_fs(table, backend=process_pool, jobs=4,
+                           budget=budget)
+            finally:
+                timer.cancel()
+        assert info.value.reason == "cancelled"
+
+    def test_checkpoint_resume_bit_identical(self, process_pool, tmp_path):
+        table = TruthTable.random(10, seed=21)
+        ckpt = str(tmp_path / "resume")
+        with pytest.raises(BudgetExceeded):
+            run_fs(table, counters=OperationCounters(),
+                   backend=process_pool, jobs=4, checkpoint_dir=ckpt,
+                   budget=Budget(deadline=0.05))
+        clean = run_fs(table, counters=OperationCounters(), backend="serial")
+        resumed_counters = OperationCounters()
+        resumed = run_fs(table, counters=resumed_counters,
+                         backend=process_pool, jobs=4,
+                         checkpoint_dir=ckpt, resume=True)
+        assert resumed.mincost == clean.mincost
+        assert resumed.order == clean.order
+        assert resumed.pi == clean.pi
+        # Transport tallies differ (the resumed run re-ships the base
+        # table); every paper-facing counter must match exactly.
+        assert paper_counters(resumed_counters) == paper_counters(
+            clean.counters)
+
+
+# ----------------------------------------------------------------------
+# observability: transport phases + tallies
+# ----------------------------------------------------------------------
+
+class TestTransportObservability:
+    def test_process_backend_records_ipc_phases_and_tallies(
+            self, process_pool):
+        from repro.observability import Profiler
+
+        profiler = Profiler()
+        counters = OperationCounters()
+        run_fs(TruthTable.random(6, seed=13), counters=counters,
+               backend=process_pool, jobs=4, profiler=profiler)
+        assert "ipc_submit" in profiler.phases
+        assert "ipc_merge" in profiler.phases
+        assert counters.extra["tasks_shipped"] > 0
+        assert counters.extra["bytes_shipped"] > 0
+
+    def test_in_process_backends_ship_nothing(self):
+        counters = OperationCounters()
+        run_fs(TruthTable.random(6, seed=13), counters=counters,
+               backend="thread", jobs=4)
+        assert "tasks_shipped" not in counters.extra
+        assert "bytes_shipped" not in counters.extra
