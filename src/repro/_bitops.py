@@ -94,6 +94,43 @@ def all_submasks(mask: int) -> Iterator[int]:
         sub = (sub - 1) & mask
 
 
+def iter_submasks(mask: int, size: int | None = None) -> Iterator[int]:
+    """Yield the sub-masks of ``mask``, optionally only those of ``size`` bits.
+
+    With ``size=None`` this is :func:`all_submasks` (the classic
+    ``sub = (sub - 1) & mask`` walk, descending numerically from ``mask``
+    to ``0``).  With a ``size``, each yielded mask has exactly that many
+    bits; the batch frontier kernel uses ``size = popcount(mask) - 1`` to
+    enumerate a subset's predecessors.  In that predecessor case the
+    combination order of :func:`subsets_of_size` excludes members in
+    *descending* order, so reversing the output aligns with the ascending
+    candidate order of :func:`bits_of` — the equivalence tests pin both
+    orders.
+    """
+    if size is None:
+        yield from all_submasks(mask)
+        return
+    yield from subsets_of_size(mask, size)
+
+
+def popcount_buffer(data: bytes | bytearray | memoryview) -> int:
+    """Total number of set bits across a byte buffer.
+
+    The vectorizable sibling of :func:`popcount`: one call covers a whole
+    packed column (e.g. the mask column of a packed frontier layer, whose
+    population count doubles as a cheap checkpoint integrity figure).
+    Uses numpy's ``unpackbits`` reduction for large buffers and a single
+    big-int ``bit_count`` otherwise — both provably equal to summing
+    :func:`popcount` over the bytes.
+    """
+    view = memoryview(data)
+    if np is not None and view.nbytes >= 1 << 12:
+        return int(
+            np.unpackbits(np.frombuffer(view, dtype=np.uint8)).sum()
+        )
+    return int.from_bytes(view, "little").bit_count()
+
+
 def insert_bit_indices(size: int, position: int) -> Tuple[np.ndarray, np.ndarray]:
     """Index arrays realizing "insert one bit at ``position``" for a table.
 

@@ -12,6 +12,7 @@ field lives on ``OrderingSolution.result``); ``solve`` is sugar over
 them, never a fork of their logic.
 
 Engine knobs (``engine=``, ``jobs=``, ``backend=``, ``frontier=``,
+``frontier_store=``,
 ``profiler=``, ``checkpoint_dir=``, ``resume=``, ``cache=``,
 ``budget=``, ``io_retry=``) pass through uniformly — including to
 ``window`` and ``fs_star``, which natively take an
@@ -39,6 +40,7 @@ _ENGINE_KWARGS: Dict[str, str] = {
     "jobs": "jobs",
     "backend": "backend",
     "frontier": "frontier",
+    "frontier_store": "frontier_store",
     "profiler": "profiler",
     "checkpoint_dir": "checkpoint_dir",
     "resume": "resume",
@@ -155,9 +157,9 @@ def solve(
         returned on the solution otherwise).
     **engine_kwargs:
         Uniform execution knobs, identical across methods: ``engine``,
-        ``jobs``, ``backend``, ``frontier``, ``profiler``,
-        ``checkpoint_dir``, ``resume``, ``fault_injector``, ``cache``,
-        ``budget``, ``io_retry``.
+        ``jobs``, ``backend``, ``frontier``, ``frontier_store``,
+        ``profiler``, ``checkpoint_dir``, ``resume``, ``fault_injector``,
+        ``cache``, ``budget``, ``io_retry``.
 
     Returns
     -------

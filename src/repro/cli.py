@@ -28,6 +28,7 @@ from .core.bruteforce import brute_force_optimal
 from .core.divide_conquer import opt_obdd
 from .core.engine import available_kernels
 from .core.executor import available_backends
+from .core.frontier import available_frontier_stores
 from .core.fs import run_fs
 from .observability import Profiler
 from .core.reconstruct import reconstruct_minimum_diagram
@@ -108,7 +109,8 @@ def _make_io_retry(args: argparse.Namespace):
 def _engine_kwargs(args: argparse.Namespace) -> dict:
     """Execution options shared by every DP-running subcommand."""
     kwargs = dict(engine=args.engine, jobs=args.jobs,
-                  backend=getattr(args, "backend", "thread"))
+                  backend=getattr(args, "backend", "thread"),
+                  frontier_store=getattr(args, "frontier_store", "dict"))
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
     resume = bool(getattr(args, "resume", False))
     if resume and not checkpoint_dir:
@@ -176,6 +178,7 @@ def _run_optimize(args: argparse.Namespace) -> int:
             profiler=profiler,
             checkpoint_dir=engine_kwargs.get("checkpoint_dir"),
             resume=bool(engine_kwargs.get("resume", False)),
+            frontier_store=engine_kwargs.get("frontier_store", "dict"),
         )
     elif args.algorithm == "fs":
         result = run_fs(table, rule=rule, profiler=profiler,
@@ -368,6 +371,7 @@ def _run_optimize_batch(args: argparse.Namespace) -> int:
         budget=batch_budget,
         io_retry=_make_io_retry(args),
         install_signal_handlers=True,
+        frontier_store=getattr(args, "frontier_store", "dict"),
     )
     name_width = max(len(label) for label in labels)
     counts = {"ok": 0, "fallback": 0, "error": 0}
@@ -449,6 +453,7 @@ def _governed_exact(table, args, profiler, rule=None):
         profiler=profiler,
         checkpoint_dir=engine_kwargs.get("checkpoint_dir"),
         resume=bool(engine_kwargs.get("resume", False)),
+        frontier_store=engine_kwargs.get("frontier_store", "dict"),
         **kwargs,
     )
     return result, result.exact, result.rung
@@ -551,6 +556,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "'serial' (inline reference executor). "
                             "Results and counters are bit-identical "
                             "across backends")
+        p.add_argument("--frontier-store", choices=available_frontier_stores(),
+                       default="dict",
+                       help="in-memory representation of the retained DP "
+                            "frontier: 'dict' (default; one FSState per "
+                            "subset) or 'packed' (contiguous columnar "
+                            "arrays; several-fold smaller peak memory). "
+                            "Results and operation counters are "
+                            "bit-identical across stores; checkpoints "
+                            "written under either store resume under the "
+                            "other")
         p.add_argument("--checkpoint-dir",
                        help="snapshot every finished DP layer into this "
                             "directory so an interrupted run can be "

@@ -97,6 +97,16 @@ from .divide_conquer import (
     opt_obdd,
     opt_obdd_extend,
 )
+from .frontier import (
+    DictFrontier,
+    FrontierStore,
+    PackedFrontier,
+    PackedSlice,
+    available_frontier_stores,
+    create_frontier_store,
+    get_frontier_store,
+    register_frontier_store,
+)
 from .fs import FSResult, find_optimal_ordering, initial_state, run_fs, terminal_values
 from .fs_star import fs_star_levels, make_fs_star_solver, run_fs_star
 from .window import WindowResult, exact_window, window_sweep
@@ -171,6 +181,14 @@ __all__ = [
     "get_kernel",
     "register_kernel",
     "run_layered_sweep",
+    "DictFrontier",
+    "FrontierStore",
+    "PackedFrontier",
+    "PackedSlice",
+    "available_frontier_stores",
+    "create_frontier_store",
+    "get_frontier_store",
+    "register_frontier_store",
     "ChunkResult",
     "ChunkTask",
     "ExecutorBackend",

@@ -87,7 +87,13 @@ class Budget:
     max_frontier_entries / max_frontier_bytes:
         Caps on the retained DP frontier, checked after each layer
         commits (so the offending layer is already checkpointed and a
-        resume under a bigger budget loses nothing).
+        resume under a bigger budget loses nothing).  The byte figure is
+        whatever the configured frontier store reports
+        (:meth:`~repro.core.frontier.FrontierStore.nbytes`): exact
+        column-payload bytes under ``frontier_store="packed"``, the
+        documented flat-overhead estimate under ``"dict"`` — so the same
+        cap may abort at different layers under different stores, each
+        deterministically.
     cancel:
         Cooperative cancellation event; shared between a parent budget
         and every :meth:`subbudget`, and with :func:`handle_signals`.
@@ -379,6 +385,7 @@ def optimize_with_fallback(
     window_width: int = 3,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    frontier_store: str = "dict",
 ) -> FallbackResult:
     """Optimize under a budget, degrading through ``ladder`` as needed.
 
@@ -448,6 +455,7 @@ def optimize_with_fallback(
         "window_width": window_width,
         "checkpoint_dir": checkpoint_dir,
         "resume": resume,
+        "frontier_store": frontier_store,
     }
     try:
         for index, rung in enumerate(ladder):
@@ -521,6 +529,7 @@ def _run_rung_fs(
         cache=opts["cache"],
         checkpoint_dir=opts["checkpoint_dir"],
         resume=opts["resume"],
+        frontier_store=opts["frontier_store"],
         budget=sub,
     )
     return FallbackResult(
@@ -550,6 +559,7 @@ def _run_rung_window(
         kernel=opts["engine"],
         jobs=opts["jobs"],
         backend=opts["backend"],
+        frontier_store=opts["frontier_store"],
         profiler=opts["profiler"],
         cache=opts["cache"],
         budget=sub,

@@ -200,9 +200,9 @@ class RetryPolicy:
 class Skeleton:
     """Mincost-only frontier entry: enough to rebuild the state on demand.
 
-    (Moved here from :mod:`repro.core.engine` so the checkpoint codec and
-    the engine share one definition; the engine re-exports it as
-    ``_Skeleton`` for backwards compatibility.)
+    (Lives here — not in :mod:`repro.core.engine` — so the checkpoint
+    codec, the engine and the frontier stores share one definition
+    without import cycles.)
     """
 
     pi: Tuple[int, ...]
@@ -462,21 +462,32 @@ class CheckpointStore:
     def save_layer(
         self,
         k: int,
-        entries: Dict[int, Entry],
+        entries: Any,
         mincost_by_subset: Dict[int, int],
         best_last: Dict[int, int],
         level_cost_by_choice: Dict[Tuple[int, int], int],
         subsets_processed: int,
         counter_delta: Dict[str, int],
     ) -> str:
-        """Atomically persist layer ``k``; returns the file path."""
+        """Atomically persist layer ``k``; returns the file path.
+
+        ``entries`` is the finished layer: a plain ``mask -> entry`` dict
+        or a :class:`~repro.core.frontier.FrontierStore`.  A store that
+        offers a packed payload (``checkpoint_payload``) is written as
+        one ``entries_packed`` column blob; everything else uses the
+        historical per-entry ``entries`` list.  Both forms carry the same
+        fingerprint and are mutually resumable — the engine repacks
+        restored entries under whatever store the resuming config names.
+        """
+        packed_payload: Optional[Dict[str, Any]] = None
+        payload_hook = getattr(entries, "checkpoint_payload", None)
+        if callable(payload_hook):
+            packed_payload = payload_hook()
+            if packed_payload is None:
+                entries = entries.to_entry_dict()
         payload = {
             "fingerprint": self.fingerprint,
             "layer": k,
-            "entries": [
-                [mask, _encode_entry(entry)]
-                for mask, entry in sorted(entries.items())
-            ],
             "mincost_by_subset": sorted(mincost_by_subset.items()),
             "best_last": sorted(best_last.items()),
             "level_cost_by_choice": [
@@ -486,6 +497,13 @@ class CheckpointStore:
             "subsets_processed": subsets_processed,
             "counter_delta": dict(sorted(counter_delta.items())),
         }
+        if packed_payload is not None:
+            payload["entries_packed"] = packed_payload
+        else:
+            payload["entries"] = [
+                [mask, _encode_entry(entry)]
+                for mask, entry in sorted(entries.items())
+            ]
         path = self.layer_path(k)
         if self.retry is not None:
             return self.retry.run(
@@ -527,10 +545,20 @@ class CheckpointStore:
         num_terminals = self.fingerprint["num_terminals"]
         num_roots = self.fingerprint["num_roots"]
         try:
-            entries = {
-                int(mask): _decode_entry(blob, n, num_terminals, num_roots)
-                for mask, blob in payload["entries"]
-            }
+            if "entries_packed" in payload:
+                # Packed column payload (written by a packed frontier
+                # store).  Decoded into the historical entry dict so
+                # resume works regardless of the resuming store.
+                from .frontier import PackedFrontier  # deferred: no cycle
+
+                entries = PackedFrontier.decode_checkpoint_payload(
+                    payload["entries_packed"]
+                )
+            else:
+                entries = {
+                    int(mask): _decode_entry(blob, n, num_terminals, num_roots)
+                    for mask, blob in payload["entries"]
+                }
             restored = RestoredSweep(
                 layer=int(payload["layer"]),
                 entries=entries,

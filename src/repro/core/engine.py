@@ -66,14 +66,17 @@ from typing import (
 from .._bitops import popcount, subsets_of_size
 from ..analysis.counters import OperationCounters
 from ..errors import BudgetExceeded, DimensionError
-from ..observability import Profiler, frontier_nbytes
+from ..observability import Profiler
 from .checkpoint import (
     CheckpointStore, FaultInjector, RetryPolicy, Skeleton, sweep_fingerprint,
 )
 from .executor import (
-    ChunkResult, ExecutorBackend, SweepContext, available_backends,
-    get_backend, materialize_entry, resolve_backend, split_chunks,
-    sweep_chunk,
+    ExecutorBackend, SweepContext, available_backends, get_backend,
+    materialize_entry, resolve_backend, split_chunks,
+)
+from .frontier import (
+    FrontierStore, available_frontier_stores, create_frontier_store,
+    get_frontier_store,
 )
 from .spec import FSState, ReductionRule
 
@@ -184,6 +187,19 @@ class EngineConfig:
     differ."""
 
     frontier: FrontierPolicy = FrontierPolicy.FULL
+
+    frontier_store: Union[str, type] = "dict"
+    """How retained layers are *represented* (orthogonal to the
+    :class:`FrontierPolicy`, which decides *what* is retained): a name
+    from the frontier-store registry (see :mod:`repro.core.frontier`) —
+    ``"dict"`` for the historical ``mask -> FSState`` mapping, ``"packed"``
+    for contiguous narrow-width column storage — or a
+    :class:`~repro.core.frontier.FrontierStore` subclass.  Results and
+    operation counters are bit-identical across stores; only memory
+    footprint (and the process backend's ``bytes_shipped`` transport
+    extra) changes.  Checkpoints are store-agnostic: a sweep may resume
+    under a different store than the one that wrote the snapshot."""
+
     profiler: Optional[Profiler] = None
 
     checkpoint_dir: Optional[str] = None
@@ -233,6 +249,15 @@ class EngineConfig:
             raise ValueError("resume=True requires checkpoint_dir")
         # Resolve eagerly so configuration errors surface at call sites.
         get_kernel(self.kernel)
+        if isinstance(self.frontier_store, str):
+            get_frontier_store(self.frontier_store)
+        elif not (isinstance(self.frontier_store, type)
+                  and issubclass(self.frontier_store, FrontierStore)):
+            raise ValueError(
+                f"frontier_store must be a registered name "
+                f"{available_frontier_stores()} or a FrontierStore "
+                f"subclass, got {self.frontier_store!r}"
+            )
         if isinstance(self.backend, str):
             get_backend(self.backend)
         elif not isinstance(self.backend, ExecutorBackend):
@@ -241,10 +266,6 @@ class EngineConfig:
                 f"or an ExecutorBackend instance, got {self.backend!r}"
             )
 
-
-# The skeleton entry now lives with the checkpoint codec; keep the
-# historical private name importable.
-_Skeleton = Skeleton
 
 _Entry = Union[FSState, Skeleton]
 
@@ -330,7 +351,8 @@ def run_layered_sweep(
     level_cost_by_choice: Dict[Tuple[int, int], int] = {}
     subsets_processed = 0
 
-    previous: Dict[int, _Entry] = {0: base}
+    previous: FrontierStore = create_frontier_store(config.frontier_store)
+    previous.put(0, base)
     if upto == 0:
         return SweepOutcome(
             frontier={0: base},
@@ -370,7 +392,11 @@ def run_layered_sweep(
                   else nullcontext()):
                 restored = store.load_latest(upto)
             if restored is not None:
-                previous = restored.entries
+                # Checkpoints hold entry dicts regardless of the store
+                # that wrote them; repack under the configured store so a
+                # resume may switch representations freely.
+                previous = create_frontier_store(config.frontier_store)
+                previous.extend(restored.entries)
                 mincost_by_subset = restored.mincost_by_subset
                 mincost_by_subset.setdefault(0, base.mincost)
                 best_last = restored.best_last
@@ -403,9 +429,7 @@ def run_layered_sweep(
                     budget.check(
                         counters=counters,
                         layers_completed=k - 1,
-                        best_bound=min(
-                            entry.mincost for entry in previous.values()
-                        ),
+                        best_bound=previous.min_mincost(),
                         checkpoint_path=last_checkpoint_path,
                         where=f"layer boundary (before k={k})",
                     )
@@ -429,7 +453,7 @@ def run_layered_sweep(
                 # describes the last *committed* boundary and a resume
                 # with a bigger budget replays layer k from scratch,
                 # bit-identically.
-                best = min(entry.mincost for entry in previous.values())
+                best = previous.min_mincost()
                 where = f"mid-layer cancellation (during k={k})"
                 if budget is not None:
                     with (profiler.phase("budget_check") if profiler is not None
@@ -450,12 +474,12 @@ def run_layered_sweep(
                     checkpoint_path=last_checkpoint_path,
                     where=where,
                 )
-            current: Dict[int, _Entry] = {}
+            current = create_frontier_store(config.frontier_store)
             # Merge strictly in chunk order: results are keyed by
             # disjoint masks, and counter merge order is fixed, so the
             # outcome is independent of where the chunks ran.
             for part in parts:
-                current.update(part.entries)
+                current.absorb(part.entries, part.packed)
                 mincost_by_subset.update(part.mincost)
                 best_last.update(part.best_last)
                 level_cost_by_choice.update(part.level_cost)
@@ -468,7 +492,7 @@ def run_layered_sweep(
                     subsets=len(current),
                     wall_seconds=time.perf_counter() - started,
                     frontier_states=len(current),
-                    frontier_bytes=frontier_nbytes(current),
+                    frontier_bytes=current.nbytes(),
                     counters=counters.snapshot(),
                 )
             checkpoint_path: Optional[str] = None
@@ -504,14 +528,15 @@ def run_layered_sweep(
                             else None
                         ),
                         frontier_bytes=(
-                            frontier_nbytes(current)
+                            # The store's own accounting — exact column
+                            # payload bytes for packed stores, the
+                            # documented estimate for dict stores.
+                            current.nbytes()
                             if budget.max_frontier_bytes is not None
                             else None
                         ),
                         layers_completed=k,
-                        best_bound=min(
-                            entry.mincost for entry in current.values()
-                        ),
+                        best_bound=current.min_mincost(),
                         checkpoint_path=last_checkpoint_path,
                         where=f"layer boundary (after k={k})",
                     )
@@ -531,11 +556,3 @@ def run_layered_sweep(
         level_cost_by_choice=level_cost_by_choice,
         subsets_processed=subsets_processed,
     )
-
-
-# The chunk machinery moved to repro.core.executor in the backend
-# redesign; keep the historical private names importable.
-_ChunkResult = ChunkResult
-_split_chunks = split_chunks
-_sweep_chunk = sweep_chunk
-_materialize = materialize_entry

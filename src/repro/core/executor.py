@@ -76,6 +76,9 @@ from .._bitops import bits_of
 from ..analysis.counters import OperationCounters
 from ..errors import OrderingError
 from .checkpoint import Skeleton
+from .frontier import (
+    BaseOverlay, PackedFrontier, PackedSlice, batch_sweep_chunk,
+)
 from .spec import FSState, ReductionRule
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
@@ -86,6 +89,14 @@ KernelFn = Callable[..., FSState]
 Entry = Union[FSState, Skeleton]
 """A frontier entry: a full state, or a ``(pi, mincost)`` skeleton under
 the mincost-only frontier policy."""
+
+PreviousLayer = Any
+"""The finished previous layer a chunk reads: a
+:class:`~repro.core.frontier.FrontierStore` (what the engine hands the
+backends), a plain ``mask -> entry`` dict (direct callers, tests), or a
+worker-side :class:`~repro.core.frontier.BaseOverlay`.  Chunk code only
+relies on ``.get(mask)``; the batch fast path additionally probes for the
+packed store's ``prev_data``/``batchable``."""
 
 # Flat per-entry overhead charged by the shipping-volume estimate (dict
 # slot + dataclass header); deliberately a round constant so the
@@ -117,6 +128,15 @@ class ChunkResult:
     """Position of the chunk within its layer's chunk list."""
 
     entries: Dict[int, Entry] = field(default_factory=dict)
+    """Finished entries keyed by mask (the scalar path's output).  Empty
+    when the chunk ran the packed batch path — see :attr:`packed`."""
+
+    packed: Optional[PackedSlice] = None
+    """Finished entries as contiguous packed columns (the batch path's
+    output; also how process workers ship results back without pickling
+    per-entry dataclasses).  ``entries`` and ``packed`` never overlap;
+    the engine's store absorbs whichever is present."""
+
     mincost: Dict[int, int] = field(default_factory=dict)
     best_last: Dict[int, int] = field(default_factory=dict)
     level_cost: Dict[Tuple[int, int], int] = field(default_factory=dict)
@@ -142,13 +162,14 @@ def split_chunks(items: Sequence[int], jobs: int) -> List[Sequence[int]]:
 
 def sweep_chunk(
     masks: Sequence[int],
-    previous: Dict[int, Entry],
+    previous: PreviousLayer,
     base: FSState,
     kernel: KernelFn,
     rule: ReductionRule,
     retain_full: bool,
     counters: OperationCounters,
     should_stop: Optional[Callable[[], bool]] = None,
+    kernel_name: Optional[str] = None,
 ) -> ChunkResult:
     """Finalize a slice of one layer (runs wherever the backend says).
 
@@ -157,11 +178,33 @@ def sweep_chunk(
     routine is the bit-identity anchor: every backend routes every chunk
     through it, so where a chunk ran can never change what it computed.
 
+    When ``kernel_name`` says the built-in ``numpy`` kernel is running
+    and ``previous`` is a batchable packed store, the chunk takes the
+    whole-layer batch path (:func:`repro.core.frontier.batch_sweep_chunk`)
+    — same arithmetic, same counters, no per-subset Python objects — and
+    returns its entries as a packed slice.  Every other combination runs
+    the scalar per-candidate loop below.
+
     ``should_stop`` (the process workers' view of the mirrored
     cancellation event) is polled between masks; a stopped chunk returns
     with ``cancelled=True`` and whatever masks it had not reached simply
     absent.
     """
+    if kernel_name == "numpy":
+        batch = batch_sweep_chunk(
+            masks, previous, base, rule, retain_full, counters, should_stop
+        )
+        if batch is not None:
+            store, mincost, best_last, level_cost, processed, cancelled = batch
+            return ChunkResult(
+                packed=store.to_slice() if len(store) else None,
+                mincost=mincost,
+                best_last=best_last,
+                level_cost=level_cost,
+                processed=processed,
+                counters=counters,
+                cancelled=cancelled,
+            )
     out = ChunkResult(counters=counters)
     for mask in masks:
         if should_stop is not None and should_stop():
@@ -274,7 +317,7 @@ class ExecutorBackend(abc.ABC):
         self,
         layer: int,
         chunks: Sequence[Sequence[int]],
-        previous: Dict[int, Entry],
+        previous: PreviousLayer,
         retain_full: bool,
     ) -> List[ChunkResult]:
         """Execute one layer's chunks; return results in chunk order."""
@@ -300,7 +343,7 @@ class ExecutorBackend(abc.ABC):
     def _run_inline(
         self,
         chunks: Sequence[Sequence[int]],
-        previous: Dict[int, Entry],
+        previous: PreviousLayer,
         retain_full: bool,
     ) -> List[ChunkResult]:
         context, kernel = self._context, self._kernel
@@ -312,6 +355,7 @@ class ExecutorBackend(abc.ABC):
             part = sweep_chunk(
                 chunk, previous, context.base, kernel, context.rule,
                 retain_full, OperationCounters(),
+                kernel_name=context.kernel,
             )
             part.index = index
             results.append(part)
@@ -406,7 +450,7 @@ class SerialBackend(ExecutorBackend):
         self,
         layer: int,
         chunks: Sequence[Sequence[int]],
-        previous: Dict[int, Entry],
+        previous: PreviousLayer,
         retain_full: bool,
     ) -> List[ChunkResult]:
         return self._run_inline(chunks, previous, retain_full)
@@ -433,7 +477,7 @@ class ThreadBackend(ExecutorBackend):
         self,
         layer: int,
         chunks: Sequence[Sequence[int]],
-        previous: Dict[int, Entry],
+        previous: PreviousLayer,
         retain_full: bool,
     ) -> List[ChunkResult]:
         if len(chunks) <= 1:
@@ -445,6 +489,7 @@ class ThreadBackend(ExecutorBackend):
             pool.submit(
                 sweep_chunk, chunk, previous, context.base, kernel,
                 context.rule, retain_full, OperationCounters(),
+                kernel_name=context.kernel,
             )
             for chunk in chunks
         ]
@@ -486,6 +531,12 @@ class ChunkTask:
     skeletons under MINCOST_ONLY (workers replay them from the shared
     base exactly as the in-process backends do, so the ``recompute_*``
     counters stay bit-identical).
+
+    With a packed frontier store the predecessors travel as one
+    :class:`~repro.core.frontier.PackedSlice` (:attr:`packed`) instead of
+    a pickled dict of dataclasses — flat byte columns at the layer's
+    narrow table width — which is what shrinks the ``bytes_shipped``
+    tally; :attr:`entries` is then empty.
     """
 
     token: str
@@ -499,6 +550,7 @@ class ChunkTask:
     entries: Dict[int, Entry]
     retain_full: bool
     payload_bytes: int = 0
+    packed: Optional[PackedSlice] = None
 
 
 # Worker-process globals (populated by the pool initializer and the
@@ -581,13 +633,20 @@ def _worker_bind_sweep(task: ChunkTask) -> Tuple[str, Any, FSState, KernelFn, Re
 def _run_chunk_task(task: ChunkTask) -> ChunkResult:
     """Worker entry point: execute one shipped chunk."""
     _, _, base, kernel, rule = _worker_bind_sweep(task)
-    previous: Dict[int, Entry] = dict(task.entries)
-    previous[0] = base  # the base entry never ships; it lives in shm
+    previous: PreviousLayer
+    if task.packed is not None:
+        # The base entry never ships; it lives in shm.  Overlaying it on
+        # the unpacked slice preserves the batch fast path worker-side.
+        previous = BaseOverlay(base, PackedFrontier.from_slice(task.packed))
+    else:
+        previous = dict(task.entries)
+        previous[0] = base
     cancel = _WORKER_CANCEL
     out = sweep_chunk(
         task.masks, previous, base, kernel, rule, task.retain_full,
         OperationCounters(),
         should_stop=cancel.is_set if cancel is not None else None,
+        kernel_name=task.kernel,
     )
     out.index = task.index
     return out
@@ -666,7 +725,7 @@ class ProcessBackend(ExecutorBackend):
         self,
         layer: int,
         chunks: Sequence[Sequence[int]],
-        previous: Dict[int, Entry],
+        previous: PreviousLayer,
         retain_full: bool,
     ) -> List[ChunkResult]:
         if len(chunks) <= 1:
@@ -695,22 +754,36 @@ class ProcessBackend(ExecutorBackend):
         layer: int,
         index: int,
         chunk: Sequence[int],
-        previous: Dict[int, Entry],
+        previous: PreviousLayer,
         retain_full: bool,
     ) -> ChunkTask:
         context = self._context
         assert context is not None and self._base_spec is not None
         assert self._sweep_token is not None and self._shm is not None
-        needed: Dict[int, Entry] = {}
-        payload = len(chunk) * 8
+        # Predecessor masks this chunk actually reads, in first-use order
+        # (mask 0 never ships; the base lives in shared memory).
+        order: List[int] = []
+        seen = set()
         for mask in chunk:
             for i in bits_of(mask):
                 pmask = mask & ~(1 << i)
-                if pmask == 0 or pmask in needed:
+                if pmask == 0 or pmask in seen or pmask not in previous:
                     continue
+                seen.add(pmask)
+                order.append(pmask)
+        packed: Optional[PackedSlice] = None
+        needed: Dict[int, Entry] = {}
+        payload = len(chunk) * 8
+        ship = getattr(previous, "ship_slice", None)
+        if ship is not None:
+            packed = ship(order)
+        if packed is not None:
+            # Packed shipping: the payload is the slice's exact byte
+            # size — this is the bytes_shipped reduction.
+            payload += packed.nbytes
+        else:
+            for pmask in order:
                 entry = previous.get(pmask)
-                if entry is None:
-                    continue
                 needed[pmask] = entry
                 if isinstance(entry, FSState):
                     payload += int(entry.table.nbytes) + _ENTRY_OVERHEAD_BYTES
@@ -728,6 +801,7 @@ class ProcessBackend(ExecutorBackend):
             entries=needed,
             retain_full=retain_full,
             payload_bytes=payload,
+            packed=packed,
         )
 
     # -- plumbing ------------------------------------------------------

@@ -35,7 +35,7 @@ from .cache import (
     table_key,
 )
 from .checkpoint import FaultInjector, RetryPolicy
-from .engine import EngineConfig, FrontierPolicy, get_kernel, run_layered_sweep
+from .engine import EngineConfig, FrontierPolicy, run_layered_sweep
 from .spec import FSState, ReductionRule
 
 if TYPE_CHECKING:  # pragma: no cover - budget imports fs lazily
@@ -197,6 +197,7 @@ def run_fs(
     jobs: int = 1,
     backend: Union[str, "ExecutorBackend"] = "thread",
     frontier: Union[str, FrontierPolicy] = FrontierPolicy.FULL,
+    frontier_store: str = "dict",
     profiler: Optional[Profiler] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
@@ -235,6 +236,12 @@ def run_fs(
         Layer-retention policy; ``"mincost"`` trades recompute time for
         an ``O(2^n)`` peak frontier (see
         :class:`repro.core.engine.FrontierPolicy`).
+    frontier_store:
+        Layer *representation* — ``"dict"`` (historical, default) or
+        ``"packed"`` for contiguous narrow-width column storage with a
+        several-fold smaller peak frontier and exact byte accounting
+        (see :mod:`repro.core.frontier`).  Results and counters are
+        bit-identical across stores.
     profiler:
         Optional :class:`repro.observability.Profiler` receiving the
         per-layer wall-clock/memory trajectory (including checkpoint
@@ -280,7 +287,8 @@ def run_fs(
         counters = OperationCounters()
     config = EngineConfig(
         kernel=engine, jobs=jobs, backend=backend, frontier=frontier,
-        profiler=profiler, checkpoint_dir=checkpoint_dir, resume=resume,
+        frontier_store=frontier_store, profiler=profiler,
+        checkpoint_dir=checkpoint_dir, resume=resume,
         fault_injector=fault_injector, cache=cache,
         budget=budget, io_retry=io_retry,
     )
@@ -318,6 +326,11 @@ def run_fs(
         )
         profiler.meta.setdefault(
             "frontier", config.frontier.value
+        )
+        profiler.meta.setdefault(
+            "frontier_store",
+            frontier_store if isinstance(frontier_store, str)
+            else getattr(frontier_store, "name", frontier_store.__name__),
         )
         if checkpoint_dir is not None:
             profiler.meta.setdefault("checkpoint_dir", checkpoint_dir)
@@ -397,23 +410,6 @@ def _kernel_name_of(fn: CompactFn) -> str:
         if registered is fn:
             return name
     raise ValueError(f"{fn!r} is not a registered compaction kernel")
-
-
-def _engine(engine: str) -> CompactFn:
-    """Deprecated alias for :func:`repro.core.engine.get_kernel`.
-
-    The last remnant of the pre-registry ``if engine ==`` string
-    dispatch; it now warns so stragglers migrate to the kernel registry.
-    """
-    import warnings
-
-    warnings.warn(
-        "repro.core.fs._engine() is deprecated; use "
-        "repro.core.engine.get_kernel() instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return get_kernel(engine)
 
 
 def find_optimal_ordering(

@@ -50,13 +50,23 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional
 STATE_OVERHEAD_BYTES = 200
 
 
-def frontier_nbytes(frontier: Mapping[int, Any]) -> int:
-    """Approximate resident bytes of a ``mask -> FSState`` frontier.
+def frontier_nbytes(frontier: Any) -> int:
+    """Resident bytes of a frontier layer.
 
-    Counts the numpy table payload exactly and charges a flat
-    :data:`STATE_OVERHEAD_BYTES` per entry; skeleton entries (mincost-only
-    retention, no table) cost only the overhead.
+    Given a :class:`~repro.core.frontier.FrontierStore` (anything with a
+    callable ``nbytes``), this delegates to the store's own accounting —
+    exact column-payload bytes for the packed store.  Given the
+    historical ``mask -> FSState`` mapping, it falls back to the
+    documented *estimate*: the numpy table payload counted exactly plus a
+    flat :data:`STATE_OVERHEAD_BYTES` per entry (skeleton entries cost
+    only the overhead).  The estimate is deliberately flat — the true
+    resident size of a graph of interpreter objects with shared/interned
+    tuples is not well-defined, and a ``sys.getsizeof`` walk would double
+    count exactly those shared structures.
     """
+    nbytes = getattr(frontier, "nbytes", None)
+    if callable(nbytes):
+        return int(nbytes())
     total = 0
     for state in frontier.values():
         table = getattr(state, "table", None)

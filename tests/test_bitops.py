@@ -12,8 +12,10 @@ from repro._bitops import (
     extract_bit,
     insert_bit,
     insert_bit_indices,
+    iter_submasks,
     mask_of,
     popcount,
+    popcount_buffer,
     rank_in_mask,
     spread_assignment,
     subsets_of_size,
@@ -191,3 +193,53 @@ class TestAssignmentSpread:
 
     def test_compress_ignores_nonmembers(self):
         assert compress_assignment(0b111111, 0b101) == 0b11
+
+
+class TestIterSubmasks:
+    def test_no_size_matches_all_submasks(self):
+        for mask in (0, 0b1, 0b1011, 0b110101):
+            assert list(iter_submasks(mask)) == list(all_submasks(mask))
+
+    def test_sized_matches_subsets_of_size(self):
+        mask = 0b110101
+        for k in range(popcount(mask) + 2):
+            assert (list(iter_submasks(mask, k))
+                    == list(subsets_of_size(mask, k)))
+
+    def test_sized_yields_exactly_the_right_masks(self):
+        mask = 0b101101
+        for k in range(popcount(mask) + 1):
+            got = list(iter_submasks(mask, k))
+            want = [sub for sub in all_submasks(mask) if popcount(sub) == k]
+            assert sorted(got) == sorted(want)
+            assert len(got) == math.comb(popcount(mask), k)
+
+    def test_reversed_predecessors_align_with_ascending_bits(self):
+        # The documented property the batch kernel leans on: dropping
+        # one bit from ``mask`` via reversed(iter_submasks(mask, k-1))
+        # excludes members in the same ascending order bits_of walks.
+        for mask in (0b111, 0b10110, 0b1101001):
+            k = popcount(mask)
+            preds = list(reversed(list(iter_submasks(mask, k - 1))))
+            assert [mask ^ p for p in preds] == [1 << i for i in bits_of(mask)]
+
+
+class TestPopcountBuffer:
+    def reference(self, data):
+        return sum(popcount(b) for b in bytes(data))
+
+    def test_small_buffer_matches_scalar_sum(self):
+        for blob in (b"", b"\x00", b"\xff", b"\x01\x80\x7f",
+                     bytes(range(256))):
+            assert popcount_buffer(blob) == self.reference(blob)
+
+    def test_large_buffer_takes_numpy_path(self):
+        rng = np.random.default_rng(17)
+        blob = rng.integers(0, 256, size=5000, dtype=np.uint8).tobytes()
+        assert len(blob) >= 1 << 12  # the vectorized threshold
+        assert popcount_buffer(blob) == self.reference(blob)
+
+    def test_accepts_bytearray_and_memoryview(self):
+        blob = bytearray(b"\x0f\xf0\xaa")
+        assert popcount_buffer(blob) == 12
+        assert popcount_buffer(memoryview(blob)) == 12

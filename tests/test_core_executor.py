@@ -138,12 +138,12 @@ class TestBackendRegistry:
         with shared_backend(None) as passthrough:
             assert passthrough is None
 
-    def test_deprecated_fs_engine_shim_warns(self):
+    def test_deprecated_fs_engine_shim_removed(self):
+        # The PR-5 deprecation cycle is over: the shim is gone, and the
+        # supported spelling is repro.core.engine.get_kernel.
         from repro.core import fs as fs_module
 
-        with pytest.warns(DeprecationWarning):
-            kernel = fs_module._engine("numpy")
-        assert callable(kernel)
+        assert not hasattr(fs_module, "_engine")
 
 
 # ----------------------------------------------------------------------
