@@ -90,6 +90,13 @@ class OrderingSolution:
         """Total node count including terminals (Figure 1 convention)."""
         return self.mincost + (self.num_terminals or 0)
 
+    @property
+    def from_cache(self) -> bool:
+        """True when the native result was served by a
+        :class:`~repro.core.cache.ResultCache` hit (zero kernel work);
+        methods without cache support simply report ``False``."""
+        return bool(getattr(self.result, "from_cache", False))
+
 
 def _as_table(problem: Any, n: Optional[int] = None) -> TruthTable:
     if isinstance(problem, TruthTable):

@@ -672,6 +672,58 @@ def build_parser() -> argparse.ArgumentParser:
                      help="sample orderings instead of exhausting them")
     sym.set_defaults(handler=_run_symmetry)
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the ordering daemon: one warm pool + one shared cache "
+             "serving newline-delimited JSON requests",
+    )
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="TCP interface to bind (default 127.0.0.1)")
+    srv.add_argument("--port", type=nonnegative_int, default=0,
+                     help="TCP port; 0 (default) binds an ephemeral port "
+                          "and prints it on startup")
+    srv.add_argument("--unix-socket", default=None, metavar="PATH",
+                     help="serve on this unix-domain socket instead of TCP")
+    srv.add_argument("--engine", choices=available_kernels(),
+                     default="numpy",
+                     help="compaction kernel every request runs under")
+    srv.add_argument("--jobs", type=positive_int, default=None,
+                     help="worker width of the one warm pool (default: "
+                          "CPU count)")
+    srv.add_argument("--backend", choices=available_backends(),
+                     default="process",
+                     help="execution backend warmed once for the server's "
+                          "lifetime (default 'process': the pool spin-up "
+                          "the daemon exists to amortize)")
+    srv.add_argument("--frontier-store", choices=available_frontier_stores(),
+                     default="dict",
+                     help="frontier representation for every request")
+    srv.add_argument("--cache-dir",
+                     help="persist the shared result cache into this "
+                          "directory (cross-process-safe; restarts and "
+                          "sibling daemons keep the accumulated answers)")
+    srv.add_argument("--cache-size", type=positive_int, default=4096,
+                     help="in-memory LRU entries (default 4096)")
+    srv.add_argument("--max-disk-entries", type=positive_int, default=None,
+                     metavar="N",
+                     help="cap the on-disk cache at N entries, evicting "
+                          "oldest (default: unbounded)")
+    srv.add_argument("--queue-limit", type=positive_int, default=64,
+                     help="bounded request-queue depth; requests beyond it "
+                          "are rejected with status 429 (default 64)")
+    srv.add_argument("--max-inflight", type=positive_int, default=2,
+                     help="concurrently executing requests (default 2; "
+                          "kernel sweeps additionally serialize on the one "
+                          "warm backend)")
+    srv.add_argument("--timeout", type=positive_float, default=None,
+                     metavar="SECONDS",
+                     help="per-request wall-clock ceiling; a request's own "
+                          "timeout may only tighten it")
+    srv.add_argument("--max-frontier-mb", type=positive_float, default=None,
+                     metavar="MB",
+                     help="frontier byte cap applied to every request")
+    srv.set_defaults(handler=_run_serve)
+
     cert = sub.add_parser("certify",
                           help="emit or verify an optimality certificate")
     add_input_options(cert)
@@ -681,6 +733,30 @@ def build_parser() -> argparse.ArgumentParser:
     cert.add_argument("--check", help="verify a certificate JSON file")
     cert.set_defaults(handler=_run_certify)
     return parser
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from .serve import ServeConfig, serve_main
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        backend=getattr(args, "backend", "process"),
+        jobs=args.jobs if args.jobs else (os.cpu_count() or 1),
+        engine=args.engine,
+        frontier_store=getattr(args, "frontier_store", "dict"),
+        cache_dir=getattr(args, "cache_dir", None),
+        cache_size=args.cache_size,
+        max_disk_entries=args.max_disk_entries,
+        queue_limit=args.queue_limit,
+        max_inflight=args.max_inflight,
+        default_timeout=getattr(args, "timeout", None),
+        max_frontier_mb=getattr(args, "max_frontier_mb", None),
+    )
+    return serve_main(config)
 
 
 def _run_symmetry(args: argparse.Namespace) -> int:

@@ -47,6 +47,7 @@ from __future__ import annotations
 import signal
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
@@ -130,7 +131,44 @@ class Budget:
     # -- lifecycle -----------------------------------------------------
 
     def arm(self) -> "Budget":
-        """Start the deadline clock (idempotent); returns ``self``."""
+        """Start the deadline clock (idempotent); returns ``self``.
+
+        Re-arming is a no-op by design (one budget legitimately spans
+        many sweeps), but re-arming a budget whose deadline is *already
+        exhausted* is almost always the daemon-reuse footgun: a budget
+        object recycled across requests inherits the first request's
+        clock, so every later request is born over budget.  That case
+        emits a :class:`RuntimeWarning` — derive a fresh
+        :meth:`subbudget` per request instead (``repro.serve`` does).
+        """
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = self.clock()
+                return self
+        if (
+            self.deadline is not None
+            and self.elapsed() > self.deadline
+        ):
+            warnings.warn(
+                f"re-arming an exhausted Budget (deadline {self.deadline:g}s, "
+                f"elapsed {self.elapsed():.3f}s): the clock keeps its "
+                "original start, so every run under this budget will abort "
+                "immediately; derive a fresh subbudget() per request instead",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return self
+
+    def ensure_armed(self) -> "Budget":
+        """Arm if not yet armed, silently.
+
+        The engine and the multi-sweep entry points (window sweep, FS*)
+        call this at every inner sweep purely to guarantee the clock is
+        running; mid-run the deadline may legitimately already be
+        exhausted (the very next :meth:`check` reports it), so this
+        never warns.  External callers starting a *new* governed
+        operation should call :meth:`arm`, which does.
+        """
         with self._lock:
             if self._started_at is None:
                 self._started_at = self.clock()
@@ -261,10 +299,23 @@ def handle_signals(budget: Budget) -> Iterator[bool]:
     instead of dying mid-write.  A second SIGINT falls back to Python's
     default ``KeyboardInterrupt`` so a hung run can still be killed.
 
-    Yields ``True`` when the handlers were installed; ``False`` (a clean
-    no-op) off the main thread, where CPython forbids ``signal.signal``.
+    Yields ``True`` when the handlers were installed; ``False`` off the
+    main thread, where CPython forbids ``signal.signal``.  The no-op
+    path emits a :class:`RuntimeWarning` — an embedder calling this from
+    a worker thread would otherwise run *ungoverned* without any sign of
+    it.  Long-lived embeddings should route signals through
+    ``loop.add_signal_handler`` into ``budget.cancel`` instead, which is
+    what the :mod:`repro.serve` daemon does.
     """
     if threading.current_thread() is not threading.main_thread():
+        warnings.warn(
+            "handle_signals() is a no-op off the main thread: "
+            "SIGINT/SIGTERM will NOT reach this budget's cancellation "
+            "event; install from the main thread, or route signals via "
+            "loop.add_signal_handler into budget.cancel (see repro.serve)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
         yield False
         return
     previous: Dict[int, Any] = {}

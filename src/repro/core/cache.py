@@ -68,10 +68,12 @@ in ``--profile`` output.
 
 from __future__ import annotations
 
+import glob
 import hashlib
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -95,6 +97,83 @@ if TYPE_CHECKING:  # pragma: no cover - cycle guard (budget imports .fs)
 CACHE_FORMAT = 1
 """Bumping this invalidates every existing fingerprint (entries simply
 stop matching; stale files are inert)."""
+
+try:  # pragma: no cover - import probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+
+class FileLock:
+    """Advisory interprocess mutex over one lockfile.
+
+    A :class:`threading.Lock` only serializes threads of one process;
+    two daemons (or a daemon and a CLI run) sharing a cache *directory*
+    need mutual exclusion across processes for the operations that read
+    the directory and then mutate it — eviction scans above all.  On
+    POSIX this is ``fcntl.flock`` on a dedicated lockfile (crash-safe:
+    the kernel drops the lock when the holder dies); elsewhere it falls
+    back to an ``O_EXCL`` claim file polled with a short sleep, with a
+    staleness cutoff so a crashed holder cannot wedge the directory
+    forever.  Reentrant within a thread is NOT supported — hold it for
+    one short critical section at a time.
+    """
+
+    def __init__(self, path: str, stale_seconds: float = 30.0) -> None:
+        self.path = path
+        self.stale_seconds = stale_seconds
+        self._fd: Optional[int] = None
+        self._thread_lock = threading.Lock()
+
+    def acquire(self) -> None:
+        self._thread_lock.acquire()
+        try:
+            if fcntl is not None:
+                fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                self._fd = fd
+                return
+            while True:  # pragma: no cover - exercised only off-POSIX
+                try:
+                    self._fd = os.open(
+                        self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                    )
+                    return
+                except FileExistsError:
+                    try:
+                        age = time.time() - os.path.getmtime(self.path)
+                        if age > self.stale_seconds:
+                            os.unlink(self.path)
+                            continue
+                    except OSError:
+                        pass
+                    time.sleep(0.01)
+        except BaseException:
+            self._thread_lock.release()
+            raise
+
+    def release(self) -> None:
+        fd, self._fd = self._fd, None
+        try:
+            if fd is not None:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                    os.close(fd)
+                else:  # pragma: no cover - exercised only off-POSIX
+                    os.close(fd)
+                    try:
+                        os.unlink(self.path)
+                    except FileNotFoundError:
+                        pass
+        finally:
+            self._thread_lock.release()
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
 
 
 def _phase(profiler: Optional[Profiler], name: str):
@@ -256,6 +335,17 @@ class ResultCache:
     that shares one instance.  Payloads are plain JSON-able dicts so the
     memory and disk layers hold the same bytes; the disk layer
     write-throughs every store and backfills the LRU on a disk hit.
+
+    The disk layer is additionally **cross-process-safe**: several
+    processes (two daemons, a daemon plus CLI runs) may share one
+    directory.  Entry files were already written atomically
+    (temp-name + ``os.replace``); on top of that, every disk *mutation*
+    — entry writes and the :attr:`max_disk_entries` eviction scan — runs
+    under a :class:`FileLock` on ``<directory>/.cache.lock``, and a
+    reader that loses the race with a sibling's eviction (the file
+    vanishes between the existence probe and the read) records a plain
+    miss instead of raising.  Damaged bytes still raise
+    :class:`~repro.errors.CacheError` — only *absence* is tolerated.
     """
 
     def __init__(
@@ -263,9 +353,14 @@ class ResultCache:
         maxsize: int = 4096,
         directory: Optional[str] = None,
         retry: Optional[RetryPolicy] = None,
+        max_disk_entries: Optional[int] = None,
     ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        if max_disk_entries is not None and max_disk_entries < 1:
+            raise ValueError(
+                f"max_disk_entries must be >= 1, got {max_disk_entries}"
+            )
         self.maxsize = maxsize
         self.directory = directory
         self.retry = retry
@@ -273,11 +368,19 @@ class ResultCache:
         disk-store writes (transient ``OSError`` -> exponential backoff);
         each retried attempt tallies :attr:`CacheStats.retries`."""
 
+        self.max_disk_entries = max_disk_entries
+        """Cap on entry files kept in :attr:`directory`; crossing it
+        evicts the oldest files (by modification time) under the
+        interprocess lock.  ``None`` = unbounded (the historical
+        behavior)."""
+
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.Lock()
+        self._disk_lock: Optional[FileLock] = None
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
+            self._disk_lock = FileLock(os.path.join(directory, ".cache.lock"))
 
     def entry_path(self, fingerprint: str) -> str:
         if self.directory is None:
@@ -289,7 +392,9 @@ class ResultCache:
 
         A hit found only on disk re-validates checksum and fingerprint
         (raising :class:`~repro.errors.CacheError` on damage) and
-        backfills the memory layer.
+        backfills the memory layer.  An entry that *vanishes* between
+        the existence probe and the read — a sibling process evicted it
+        — is a miss, not an error.
         """
         with self._lock:
             entry = self._entries.get(fingerprint)
@@ -300,7 +405,14 @@ class ResultCache:
         if self.directory is not None:
             path = self.entry_path(fingerprint)
             if os.path.exists(path):
-                payload = read_checked_json(path, error=CacheError)
+                try:
+                    payload = read_checked_json(path, error=CacheError)
+                except CacheError as exc:
+                    if isinstance(exc.__cause__, FileNotFoundError):
+                        with self._lock:
+                            self.stats.misses += 1
+                        return None
+                    raise
                 if payload.get("fingerprint") != fingerprint:
                     raise CacheError(
                         f"cache entry {path} carries fingerprint "
@@ -321,21 +433,60 @@ class ResultCache:
         """Insert (write-through when a directory is configured).
 
         Disk writes go through :attr:`retry` when one is configured, so a
-        transiently flaky filesystem costs backoff, not a lost batch."""
+        transiently flaky filesystem costs backoff, not a lost batch.
+        The write (and any :attr:`max_disk_entries` eviction it
+        triggers) holds the directory's interprocess :class:`FileLock`,
+        so two processes never interleave a scan with a mutation."""
         with self._lock:
             self._insert(fingerprint, entry)
             self.stats.stores += 1
         if self.directory is not None:
             path = self.entry_path(fingerprint)
             payload = {"fingerprint": fingerprint, "entry": entry}
+
+            def write() -> None:
+                assert self._disk_lock is not None
+                with self._disk_lock:
+                    write_checked_json(path, payload)
+                    if self.max_disk_entries is not None:
+                        self._evict_disk_locked()
+
             if self.retry is not None:
                 self.retry.run(
-                    lambda: write_checked_json(path, payload),
+                    write,
                     describe=f"cache store {fingerprint[:12]}",
                     on_retry=self._note_retry,
                 )
             else:
-                write_checked_json(path, payload)
+                write()
+
+    def _evict_disk_locked(self) -> None:
+        """Drop the oldest entry files beyond :attr:`max_disk_entries`.
+
+        Caller holds the interprocess lock.  Oldest-by-mtime is the
+        cross-process analogue of the in-memory LRU (an ``os.replace``
+        refresh on re-store bumps the time); a file a sibling already
+        removed is skipped silently.
+        """
+        assert self.directory is not None and self.max_disk_entries is not None
+        pattern = os.path.join(self.directory, "cache_*.json")
+        files = []
+        for name in glob.glob(pattern):
+            try:
+                files.append((os.path.getmtime(name), name))
+            except OSError:  # vanished mid-scan
+                continue
+        excess = len(files) - self.max_disk_entries
+        if excess <= 0:
+            return
+        files.sort()
+        for _, name in files[:excess]:
+            try:
+                os.unlink(name)
+            except FileNotFoundError:  # pragma: no cover - sibling race
+                continue
+            with self._lock:
+                self.stats.evictions += 1
 
     def _note_retry(self, attempt: int, exc: BaseException) -> None:
         with self._lock:

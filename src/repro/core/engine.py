@@ -364,7 +364,7 @@ def run_layered_sweep(
     budget = config.budget
     last_checkpoint_path: Optional[str] = None
     if budget is not None:
-        budget.arm()
+        budget.ensure_armed()
 
     store: Optional[CheckpointStore] = None
     counters_baseline: Optional[OperationCounters] = None

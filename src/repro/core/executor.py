@@ -296,6 +296,15 @@ class ExecutorBackend(abc.ABC):
     at a time (``begin_sweep``/``end_sweep`` bracket each sweep) but may
     serve many sweeps over its life; :meth:`close` releases long-lived
     resources such as worker pools.
+
+    One-sweep-at-a-time is *enforced*, not assumed: ``begin_sweep``
+    takes an internal mutex that ``end_sweep`` releases, so when several
+    threads share one warm instance (the :mod:`repro.serve` daemon's
+    request workers, a caller-owned pool handed to concurrent solves)
+    their sweeps serialize instead of silently overwriting each other's
+    context mid-layer.  A *nested* sweep on the thread that already owns
+    the instance raises :class:`~repro.errors.OrderingError` — that is a
+    programming error, and blocking on it would deadlock.
     """
 
     name: str = "custom"
@@ -303,14 +312,27 @@ class ExecutorBackend(abc.ABC):
     def __init__(self) -> None:
         self._context: Optional[SweepContext] = None
         self._kernel: Optional[KernelFn] = None
+        self._sweep_lock = threading.Lock()
+        self._sweep_owner: Optional[int] = None
 
     def begin_sweep(self, context: SweepContext) -> None:
-        """Adopt a sweep.  Resolves the kernel once so inline execution
-        and worker dispatch agree on the implementation."""
+        """Adopt a sweep (blocking while another thread's sweep runs).
+        Resolves the kernel once so inline execution and worker dispatch
+        agree on the implementation."""
         from .engine import get_kernel  # deferred: engine imports this module
 
+        kernel = get_kernel(context.kernel)  # validate before locking
+        if self._sweep_owner == threading.get_ident():
+            raise OrderingError(
+                f"backend {self.name!r} is already mid-sweep on this "
+                "thread; a sweep cannot nest another sweep on the same "
+                "backend instance — pass a separate backend (or a name, "
+                "which creates a fresh one) for the inner run"
+            )
+        self._sweep_lock.acquire()
+        self._sweep_owner = threading.get_ident()
         self._context = context
-        self._kernel = get_kernel(context.kernel)
+        self._kernel = kernel
 
     @abc.abstractmethod
     def run_layer(
@@ -324,9 +346,14 @@ class ExecutorBackend(abc.ABC):
 
     def end_sweep(self) -> None:
         """Release per-sweep resources (shared memory, watcher threads);
-        the backend stays usable for the next ``begin_sweep``."""
+        the backend stays usable for the next ``begin_sweep``.  Safe to
+        call without an open sweep (``close`` paths do): only the thread
+        that owns the sweep releases the mutex."""
         self._context = None
         self._kernel = None
+        if self._sweep_owner == threading.get_ident():
+            self._sweep_owner = None
+            self._sweep_lock.release()
 
     def close(self) -> None:
         """Release everything, worker pools included."""

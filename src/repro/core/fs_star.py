@@ -106,7 +106,7 @@ def run_fs_star(
         # The layered sweep re-checks at every layer boundary; this entry
         # check additionally covers the cache-replay short-circuit, which
         # never enters the engine.
-        budget.arm()
+        budget.ensure_armed()
         budget.check(counters=counters, where="fs_star entry")
     cache = config.cache if config is not None else None
     fingerprint = None

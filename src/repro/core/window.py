@@ -190,7 +190,7 @@ def window_sweep(
 
     budget = config.budget if config is not None else None
     if budget is not None:
-        budget.arm()
+        budget.ensure_armed()
     cache = config.cache if config is not None else None
     fingerprint = None
     if cache is not None:

@@ -82,6 +82,19 @@ class CheckpointError(ReproError):
     names the offending file; a resume never proceeds silently past one."""
 
 
+class ServeError(ReproError):
+    """A request to the ``repro serve`` daemon failed.
+
+    Raised client-side (:class:`repro.serve.ServeClient`) when the
+    server answers with ``ok: false``; carries the HTTP-style ``status``
+    the server assigned (400 malformed request, 429 queue full, 503
+    draining/cancelled, 504 budget exhausted, 500 internal)."""
+
+    def __init__(self, message: str, *, status: int = 500) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class CacheError(ReproError):
     """A result-cache entry was unusable: a damaged on-disk file (checksum
     or fingerprint mismatch) or a stored payload inconsistent with the

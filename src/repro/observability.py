@@ -39,6 +39,7 @@ embeds as per-layer snapshots so both views line up.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -117,6 +118,12 @@ class Profiler:
     many FS* solves); layers append in execution order and phases
     accumulate by name.  Pass one to ``run_fs(..., profiler=...)`` or any
     other engine-backed entry point, then ``write(path)`` it.
+
+    Mutation is thread-safe: phase accumulation and layer/peak updates
+    are read-modify-write sequences, so a profiler shared by concurrent
+    runs (the serve daemon's request workers) would otherwise lose
+    updates.  Layers then interleave in completion order across runs —
+    honest, if harder to read than a single run's trajectory.
     """
 
     phases: Dict[str, float] = field(default_factory=dict)
@@ -129,6 +136,10 @@ class Profiler:
     """Result-cache tallies (hits/misses/stores/disk_hits/evictions); see
     :meth:`note_cache_stats`.  Empty when no cache was attached."""
 
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Time a named phase; repeated phases accumulate."""
@@ -137,7 +148,8 @@ class Profiler:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+            with self._lock:
+                self.phases[name] = self.phases.get(name, 0.0) + elapsed
 
     def record_layer(
         self,
@@ -148,18 +160,19 @@ class Profiler:
         frontier_bytes: int,
         counters: Optional[Dict[str, int]] = None,
     ) -> None:
-        self.layers.append(
-            LayerProfile(
-                k=k,
-                subsets=subsets,
-                wall_seconds=wall_seconds,
-                frontier_states=frontier_states,
-                frontier_bytes=frontier_bytes,
-                counters=dict(counters or {}),
+        with self._lock:
+            self.layers.append(
+                LayerProfile(
+                    k=k,
+                    subsets=subsets,
+                    wall_seconds=wall_seconds,
+                    frontier_states=frontier_states,
+                    frontier_bytes=frontier_bytes,
+                    counters=dict(counters or {}),
+                )
             )
-        )
-        if frontier_bytes > self.peak_frontier_bytes:
-            self.peak_frontier_bytes = frontier_bytes
+            if frontier_bytes > self.peak_frontier_bytes:
+                self.peak_frontier_bytes = frontier_bytes
 
     def note_cache_stats(self, stats: Mapping[str, int]) -> None:
         """Embed a :class:`repro.core.cache.CacheStats` snapshot.

@@ -1,0 +1,934 @@
+"""Ordering-as-a-service: the ``repro serve`` daemon.
+
+The library grew everything a long-lived reordering service needs — warm
+:class:`~repro.core.executor.ExecutorBackend` pools, a fingerprint-deduped
+:class:`~repro.core.cache.ResultCache`, :class:`~repro.core.budget.Budget`
+admission with cooperative cancellation — but each caller still paid
+process startup, pool spin-up and a cold cache per invocation.  This
+module turns those five library entry points into a system that serves
+traffic: a single-process stdlib-``asyncio`` front-end multiplexing many
+concurrent clients over
+
+* **one warm execution backend** (pinned for the server's lifetime via
+  the :func:`~repro.core.executor.shared_backend` context manager, so a
+  process pool is paid for once and reused by every request; concurrent
+  sweeps serialize on the backend's sweep mutex while canonicalization,
+  cache traffic and I/O overlap freely), and
+* **one shared result cache** (in-memory LRU plus optional
+  cross-process-safe disk store), so every request benefits from every
+  previous answer — the accumulation point the learned-ordering
+  literature presupposes (Grumberg et al., PAPERS.md).
+
+Transport is newline-delimited JSON over TCP or a unix socket: one JSON
+object per line in, one per line out, ``id`` echoed so clients may
+pipeline.  Operations:
+
+``{"op": "solve", "expr": "x0 & x1 | x2", "method": "fs", ...}``
+    Find an ordering.  The function arrives as ``expr`` (expression
+    string) or ``values`` (truth-table bits: a list of ints or a
+    ``"0110..."`` string, plus optional ``n``); ``method`` is any of
+    ``fs`` / ``shared`` (give ``tables``: a list of such specs) /
+    ``constrained`` (give ``precedence`` pairs) / ``window`` (optional
+    ``width`` / ``max_rounds`` / ``initial_order``).  Optional
+    ``timeout`` (seconds, clamped to the server's ``default_timeout``)
+    and ``priority`` (lower runs first).  ``fs_star`` is not servable —
+    its problem is a live ``FSState``, which does not travel as JSON.
+``{"op": "metrics"}``
+    The observability counters (merged
+    :class:`~repro.analysis.counters.OperationCounters` across every
+    request), the shared cache's
+    :class:`~repro.core.cache.CacheStats`, and server-level gauges
+    (queue depth, in-flight, rejections, coalesced duplicates).
+``{"op": "ping"}``
+    Liveness probe.
+
+Every response carries an HTTP-style ``status``: 200 served, 400
+malformed request, 429 queue full (the bounded priority queue rejects
+rather than buffers without bound), 503 draining or cancelled, 504
+budget exhausted, 500 internal error.
+
+Resource governance is per request: each admitted request derives a
+fresh :meth:`~repro.core.budget.Budget.subbudget` from one server-level
+parent — never re-arming a shared budget (the stale-clock footgun
+:meth:`Budget.arm <repro.core.budget.Budget.arm>` now warns about) —
+so a request's deadline starts when *its* solve starts, while the
+parent's frontier caps and cancellation event govern everything.
+
+Duplicate-fingerprint requests are **single-flighted**: concurrent
+requests for the same canonical function (same up to variable renaming
+and output complement) elect one leader that runs the kernel; the rest
+wait and then resolve through the cache — N answers, one sweep.
+
+Shutdown is a graceful drain, routed through
+``loop.add_signal_handler`` (the asyncio-correct path —
+:func:`~repro.core.budget.handle_signals` cannot help a daemon, and now
+warns when it would silently no-op): the first SIGTERM/SIGINT stops
+accepting work, finishes everything already admitted (bit-identical to
+library calls — nothing about the drain touches the solves), answers
+late arrivals with 503, and exits 0.  A second signal sets the shared
+cooperative-cancellation event, so in-flight sweeps abort at their next
+layer boundary with checkpoints and cache writes already flushed.
+
+``python -m repro serve --port 7421 --cache-dir /var/cache/repro`` runs
+one; :class:`ServeClient` talks to it; :func:`running_server` embeds one
+in-process (tests, benchmarks, notebooks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .analysis.counters import OperationCounters
+from .api import solve
+from .core.budget import Budget
+from .core.cache import ResultCache, table_key
+from .core.engine import EngineConfig
+from .core.executor import ExecutorBackend, shared_backend
+from .core.spec import ReductionRule
+from .errors import BudgetExceeded, ReproError, ServeError
+from .truth_table import TruthTable
+
+__all__ = [
+    "OrderingServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "running_server",
+    "serve_main",
+]
+
+PROTOCOL_VERSION = 1
+
+SERVABLE_METHODS = ("fs", "shared", "constrained", "window")
+"""``solve()`` methods reachable over the wire (``fs_star`` is not: its
+problem is a live ``FSState``, which has no JSON form)."""
+
+_DEDUP_METHODS = ("fs", "shared")
+"""Methods whose problems are safely single-flighted by canonical
+fingerprint (``constrained``/``window`` carry position-dependent extras
+the canonical key deliberately ignores)."""
+
+
+@dataclass
+class ServeConfig:
+    """Everything one :class:`OrderingServer` needs to stand up."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    """TCP port; 0 binds an ephemeral port (read it back off
+    :attr:`OrderingServer.address`)."""
+
+    unix_socket: Optional[str] = None
+    """Serve on this unix-domain socket path instead of TCP."""
+
+    backend: str = "process"
+    """Execution backend warmed once for the server's lifetime."""
+
+    jobs: int = field(default_factory=lambda: os.cpu_count() or 1)
+    """Worker width of the warm pool (layer parallelism per sweep)."""
+
+    engine: str = "numpy"
+    frontier_store: str = "dict"
+
+    cache_dir: Optional[str] = None
+    """Optional on-disk store for the shared result cache
+    (cross-process-safe; two daemons may share one directory)."""
+
+    cache_size: int = 4096
+    max_disk_entries: Optional[int] = None
+
+    queue_limit: int = 64
+    """Bounded priority-queue depth; a request arriving when the queue
+    is full is rejected with 429, never buffered without bound."""
+
+    max_inflight: int = 2
+    """Concurrent request executions (canonicalization/cache/IO overlap;
+    kernel sweeps additionally serialize on the one warm backend)."""
+
+    default_timeout: Optional[float] = None
+    """Per-request wall-clock ceiling; a request's own ``timeout`` may
+    only tighten it."""
+
+    max_frontier_mb: Optional[float] = None
+    """Frontier byte cap applied to every request's subbudget."""
+
+    max_request_bytes: int = 8 * 1024 * 1024
+    """Per-line transport limit (a ``values`` table for n=16 as a bit
+    string is 64 KiB; as a JSON list ~20x that)."""
+
+    install_signal_handlers: bool = True
+    """Route SIGTERM/SIGINT through ``loop.add_signal_handler`` into
+    drain / cooperative cancellation.  Disable when embedding the server
+    in a thread whose loop cannot own signals (:func:`running_server`
+    does)."""
+
+
+@dataclass
+class ServerMetrics:
+    """Server-level tallies (the gauges ``/metrics`` adds on top of the
+    cache's :class:`~repro.core.cache.CacheStats` and the merged
+    operation counters)."""
+
+    received: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected_queue_full: int = 0
+    rejected_draining: int = 0
+    bad_requests: int = 0
+    coalesced: int = 0
+    """Requests that waited on an identical in-flight leader instead of
+    sweeping themselves."""
+
+    kernel_sweeps: int = 0
+    """Solves that actually ran the kernel (``from_cache`` false) — with
+    N duplicate requests this advances once, which is the single-flight
+    acceptance check."""
+
+    cache_hit_solves: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "received": self.received,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_draining": self.rejected_draining,
+            "bad_requests": self.bad_requests,
+            "coalesced": self.coalesced,
+            "kernel_sweeps": self.kernel_sweeps,
+            "cache_hit_solves": self.cache_hit_solves,
+        }
+
+
+@dataclass(eq=False)
+class _Connection:
+    """One client connection; writes serialize on :attr:`lock` so
+    pipelined responses never interleave.  Identity-hashed (``eq=False``)
+    so the server can track live connections in a set."""
+
+    writer: asyncio.StreamWriter
+    lock: asyncio.Lock
+
+
+@dataclass(order=True)
+class _QueuedRequest:
+    """One admitted solve request, ordered for the priority queue."""
+
+    priority: int
+    seq: int
+    payload: Dict[str, Any] = field(compare=False)
+    conn: _Connection = field(compare=False)
+
+
+@dataclass
+class _Prepared:
+    """A solve request parsed and fingerprinted (off-loop, in the pool)."""
+
+    problem: Any
+    method: str
+    rule: ReductionRule
+    timeout: Optional[float]
+    fingerprint: Optional[str]
+    solve_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+def _parse_values(spec: Any, n: Optional[int]) -> TruthTable:
+    if isinstance(spec, str):
+        values = [int(ch) for ch in spec]
+    elif isinstance(spec, (list, tuple)):
+        values = [int(v) for v in spec]
+    else:
+        raise ReproError(
+            f"'values' must be a 0/1 string or a list of ints, "
+            f"got {type(spec).__name__}"
+        )
+    if n is None:
+        size = len(values)
+        n = max(size - 1, 0).bit_length()
+        if size != 1 << n:
+            raise ReproError(
+                f"'values' length {size} is not a power of two; give 'n'"
+            )
+    return TruthTable(int(n), values)
+
+
+def _parse_table(spec: Dict[str, Any]) -> TruthTable:
+    """One table spec: ``{"expr": ...}`` or ``{"values": ..., "n"?: ...}``."""
+    n = spec.get("n")
+    if n is not None:
+        n = int(n)
+    if spec.get("expr") is not None:
+        from .expr import parse, to_truth_table
+
+        return to_truth_table(parse(str(spec["expr"])), n)
+    if spec.get("values") is not None:
+        return _parse_values(spec["values"], n)
+    raise ReproError("each table needs 'expr' or 'values'")
+
+
+def _parse_rule(payload: Dict[str, Any]) -> ReductionRule:
+    raw = payload.get("rule", "bdd")
+    try:
+        return ReductionRule(str(raw))
+    except ValueError:
+        raise ReproError(
+            f"unknown rule {raw!r}; expected one of "
+            f"{[r.value for r in ReductionRule]}"
+        ) from None
+
+
+class OrderingServer:
+    """The daemon: one warm backend, one shared cache, many clients.
+
+    Lifecycle: :meth:`start` binds and begins serving; :meth:`shutdown`
+    (or the first SIGTERM/SIGINT when signal handlers are installed)
+    drains gracefully; :meth:`wait_closed` blocks until the drain
+    finishes.  All three are coroutines on the server's event loop —
+    :func:`running_server` wraps them for synchronous embedders.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        if self.config.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.config.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.metrics = ServerMetrics()
+        self.cache = ResultCache(
+            maxsize=self.config.cache_size,
+            directory=self.config.cache_dir,
+            max_disk_entries=self.config.max_disk_entries,
+        )
+        cap = self.config.max_frontier_mb
+        self.parent_budget = Budget(
+            max_frontier_bytes=(
+                int(cap * 1024 * 1024) if cap is not None else None
+            ),
+        )
+        """Deadline-free parent; every request derives a fresh
+        :meth:`~repro.core.budget.Budget.subbudget` sharing its
+        cancellation event and frontier caps."""
+
+        self.totals = OperationCounters()
+        self._totals_lock = threading.Lock()
+        self._backend: Optional[ExecutorBackend] = None
+        self._backend_cm: Optional[Any] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._queue: "asyncio.PriorityQueue[_QueuedRequest]" = None  # type: ignore[assignment]
+        self._workers: List[asyncio.Task] = []
+        self._inflight_by_fp: Dict[str, asyncio.Future] = {}
+        self._in_flight = 0
+        self._seq = 0
+        self._draining = False
+        self._done: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: "set[_Connection]" = set()
+        self._started_at = time.monotonic()
+        self._installed_signals: List[int] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, warm the backend, and begin serving."""
+        config = self.config
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.PriorityQueue(maxsize=config.queue_limit)
+        self._done = asyncio.Event()
+        # Pin ONE live backend instance for the whole server lifetime;
+        # every request's sweep reuses its warm pool.
+        self._backend_cm = shared_backend(
+            EngineConfig(kernel=config.engine, jobs=config.jobs,
+                         backend=config.backend,
+                         frontier_store=config.frontier_store)
+        )
+        self._backend = self._backend_cm.__enter__().backend
+        self._pool = ThreadPoolExecutor(
+            max_workers=config.max_inflight,
+            thread_name_prefix="repro-serve",
+        )
+        self._workers = [
+            asyncio.ensure_future(self._worker())
+            for _ in range(config.max_inflight)
+        ]
+        if config.unix_socket is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=config.unix_socket,
+                limit=config.max_request_bytes,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=config.host, port=config.port,
+                limit=config.max_request_bytes,
+            )
+        self._started_at = time.monotonic()
+        if config.install_signal_handlers:
+            self._install_signal_handlers()
+
+    @property
+    def address(self) -> Union[Tuple[str, int], str]:
+        """Where the server listens: ``(host, port)`` or the socket path."""
+        if self.config.unix_socket is not None:
+            return self.config.unix_socket
+        assert self._server is not None, "server not started"
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._on_signal, sig)
+            except (NotImplementedError, RuntimeError, ValueError) as exc:
+                # Non-unix loop, or a loop that cannot own signals (not
+                # the main thread).  The daemon path always can; warn so
+                # an embedder knows drain-on-signal is off.
+                warnings.warn(
+                    f"repro.serve could not install a handler for signal "
+                    f"{sig}: {exc}; graceful drain on signal is disabled",
+                    RuntimeWarning,
+                )
+                return
+            self._installed_signals.append(sig)
+
+    def _on_signal(self, signum: int) -> None:
+        if not self._draining:
+            self._log(
+                f"signal {signal.Signals(signum).name}: draining "
+                f"({self._in_flight} in flight, {self._queue.qsize()} queued)"
+            )
+            asyncio.ensure_future(self.shutdown())
+        else:
+            # Second signal: stop being polite — cooperative-cancel every
+            # in-flight sweep at its next layer boundary.
+            self._log(
+                f"signal {signal.Signals(signum).name} during drain: "
+                "cancelling in-flight work"
+            )
+            self.parent_budget.cancel.set()
+
+    async def shutdown(self) -> None:
+        """Drain: stop accepting, finish admitted work, release the pool."""
+        if self._draining:
+            await self.wait_closed()
+            return
+        self._draining = True
+        assert self._server is not None
+        self._server.close()
+        await self._queue.join()
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        for sig in self._installed_signals:
+            asyncio.get_running_loop().remove_signal_handler(sig)
+        self._installed_signals.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        if self._backend_cm is not None:
+            self._backend_cm.__exit__(None, None, None)
+            self._backend_cm = None
+            self._backend = None
+        for conn in list(self._connections):
+            conn.writer.close()
+        try:
+            await asyncio.wait_for(self._server.wait_closed(), timeout=5)
+        except asyncio.TimeoutError:  # pragma: no cover - stuck client
+            pass
+        if (
+            self.config.unix_socket is not None
+            and os.path.exists(self.config.unix_socket)
+        ):
+            os.unlink(self.config.unix_socket)
+        assert self._done is not None
+        self._done.set()
+
+    async def wait_closed(self) -> None:
+        """Block until a drain (signal- or :meth:`shutdown`-initiated)
+        completes."""
+        assert self._done is not None, "server not started"
+        await self._done.wait()
+
+    def _log(self, message: str) -> None:
+        print(f"repro serve: {message}", file=sys.stderr, flush=True)
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer=writer, lock=asyncio.Lock())
+        self._connections.add(conn)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self.metrics.bad_requests += 1
+                    await self._respond(conn, {
+                        "ok": False, "status": 400,
+                        "error": {"type": "ProtocolError",
+                                  "message": "request line too long"},
+                    })
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    self.metrics.bad_requests += 1
+                    await self._respond(conn, {
+                        "ok": False, "status": 400,
+                        "error": {"type": "ProtocolError",
+                                  "message": f"invalid JSON: {exc}"},
+                    })
+                    continue
+                await self._dispatch(payload, conn)
+        except (ConnectionResetError, BrokenPipeError):  # client vanished
+            pass
+        finally:
+            self._connections.discard(conn)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(self, conn: _Connection, body: Dict[str, Any]) -> None:
+        data = json.dumps(body, separators=(",", ":")).encode() + b"\n"
+        try:
+            async with conn.lock:
+                conn.writer.write(data)
+                await conn.writer.drain()
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            pass  # client gone; the work's cache entry still helps others
+
+    async def _dispatch(self, payload: Any, conn: _Connection) -> None:
+        if not isinstance(payload, dict):
+            self.metrics.bad_requests += 1
+            await self._respond(conn, {
+                "ok": False, "status": 400,
+                "error": {"type": "ProtocolError",
+                          "message": "each request must be a JSON object"},
+            })
+            return
+        request_id = payload.get("id")
+        op = payload.get("op", "solve")
+        if op == "ping":
+            await self._respond(conn, {
+                "id": request_id, "ok": True, "status": 200, "pong": True,
+                "protocol": PROTOCOL_VERSION,
+            })
+            return
+        if op == "metrics":
+            await self._respond(conn, {
+                "id": request_id, "ok": True, "status": 200,
+                "metrics": self.metrics_snapshot(),
+            })
+            return
+        if op != "solve":
+            self.metrics.bad_requests += 1
+            await self._respond(conn, {
+                "id": request_id, "ok": False, "status": 400,
+                "error": {"type": "ProtocolError",
+                          "message": f"unknown op {op!r}; expected "
+                                     "solve/metrics/ping"},
+            })
+            return
+        if self._draining:
+            self.metrics.rejected_draining += 1
+            await self._respond(conn, {
+                "id": request_id, "ok": False, "status": 503,
+                "error": {"type": "Draining",
+                          "message": "server is draining; resubmit "
+                                     "elsewhere"},
+            })
+            return
+        self._seq += 1
+        item = _QueuedRequest(
+            priority=int(payload.get("priority", 0)),
+            seq=self._seq,
+            payload=payload,
+            conn=conn,
+        )
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self.metrics.rejected_queue_full += 1
+            await self._respond(conn, {
+                "id": request_id, "ok": False, "status": 429,
+                "error": {"type": "QueueFull",
+                          "message": f"queue limit "
+                                     f"{self.config.queue_limit} reached; "
+                                     "retry with backoff"},
+            })
+            return
+        self.metrics.received += 1
+
+    # -- request execution ---------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            try:
+                item = await self._queue.get()
+            except asyncio.CancelledError:
+                return
+            try:
+                self._in_flight += 1
+                await self._process(item)
+            finally:
+                self._in_flight -= 1
+                self._queue.task_done()
+
+    async def _process(self, item: _QueuedRequest) -> None:
+        request_id = item.payload.get("id")
+        loop = asyncio.get_running_loop()
+        try:
+            prepared = await loop.run_in_executor(
+                self._pool, self._prepare, item.payload
+            )
+        except ReproError as exc:
+            self.metrics.bad_requests += 1
+            await self._respond(item.conn, {
+                "id": request_id, "ok": False, "status": 400,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            })
+            return
+        except Exception as exc:  # noqa: BLE001 - reported, never fatal
+            self.metrics.failed += 1
+            await self._respond(item.conn, {
+                "id": request_id, "ok": False, "status": 500,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            })
+            return
+
+        # Single-flight: if an identical problem is already sweeping,
+        # wait for its leader and then resolve through the shared cache.
+        leader = (
+            self._inflight_by_fp.get(prepared.fingerprint)
+            if prepared.fingerprint is not None else None
+        )
+        follower_future: Optional[asyncio.Future] = None
+        if leader is not None:
+            self.metrics.coalesced += 1
+            await asyncio.shield(leader)
+        elif prepared.fingerprint is not None:
+            follower_future = loop.create_future()
+            self._inflight_by_fp[prepared.fingerprint] = follower_future
+        try:
+            body = await loop.run_in_executor(
+                self._pool, self._execute, prepared
+            )
+        finally:
+            if follower_future is not None:
+                del self._inflight_by_fp[prepared.fingerprint]
+                follower_future.set_result(None)
+        if body.get("ok"):
+            self.metrics.completed += 1
+        else:
+            self.metrics.failed += 1
+        body["id"] = request_id
+        await self._respond(item.conn, body)
+
+    def _prepare(self, payload: Dict[str, Any]) -> _Prepared:
+        """Parse + fingerprint one solve request (runs in the pool)."""
+        method = str(payload.get("method", "fs"))
+        if method not in SERVABLE_METHODS:
+            raise ReproError(
+                f"method {method!r} is not servable; expected one of "
+                f"{list(SERVABLE_METHODS)}"
+            )
+        rule = _parse_rule(payload)
+        solve_kwargs: Dict[str, Any] = {}
+        if method == "shared":
+            specs = payload.get("tables")
+            if not isinstance(specs, list) or not specs:
+                raise ReproError(
+                    "method 'shared' needs 'tables': a non-empty list of "
+                    "{expr|values} specs"
+                )
+            problem: Any = [_parse_table(spec) for spec in specs]
+            tables = list(problem)
+        else:
+            problem = _parse_table(payload)
+            tables = [problem]
+        if method == "constrained":
+            pairs = payload.get("precedence")
+            if not isinstance(pairs, list):
+                raise ReproError(
+                    "method 'constrained' needs 'precedence': a list of "
+                    "[earlier, later] variable pairs"
+                )
+            solve_kwargs["precedence"] = [
+                (int(a), int(b)) for a, b in pairs
+            ]
+        if method == "window":
+            if payload.get("width") is not None:
+                solve_kwargs["width"] = int(payload["width"])
+            if payload.get("max_rounds") is not None:
+                solve_kwargs["max_rounds"] = int(payload["max_rounds"])
+            if payload.get("initial_order") is not None:
+                solve_kwargs["initial_order"] = tuple(
+                    int(v) for v in payload["initial_order"]
+                )
+        timeout = payload.get("timeout")
+        if timeout is not None:
+            timeout = float(timeout)
+            if timeout <= 0:
+                raise ReproError(f"timeout must be > 0, got {timeout}")
+        default = self.config.default_timeout
+        if default is not None:
+            timeout = default if timeout is None else min(timeout, default)
+        fingerprint = None
+        if method in _DEDUP_METHODS:
+            fingerprint = table_key(tables, rule, spec=method).fingerprint
+        return _Prepared(
+            problem=problem,
+            method=method,
+            rule=rule,
+            timeout=timeout,
+            fingerprint=fingerprint,
+            solve_kwargs=solve_kwargs,
+        )
+
+    def _execute(self, prepared: _Prepared) -> Dict[str, Any]:
+        """Run one governed solve (in the pool); returns the response body."""
+        config = self.config
+        sub = self.parent_budget.subbudget(prepared.timeout)
+        started = time.perf_counter()
+        try:
+            solution = solve(
+                prepared.problem,
+                method=prepared.method,
+                rule=prepared.rule,
+                engine=config.engine,
+                jobs=config.jobs,
+                backend=self._backend,
+                frontier_store=config.frontier_store,
+                cache=self.cache,
+                budget=sub,
+                **prepared.solve_kwargs,
+            )
+        except BudgetExceeded as exc:
+            status = 503 if exc.reason == "cancelled" else 504
+            return {
+                "ok": False, "status": status,
+                "error": {"type": "BudgetExceeded", "message": str(exc),
+                          "reason": exc.reason},
+            }
+        except ReproError as exc:
+            return {
+                "ok": False, "status": 400,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            }
+        except Exception as exc:  # noqa: BLE001 - reported, never fatal
+            return {
+                "ok": False, "status": 500,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            }
+        elapsed = time.perf_counter() - started
+        with self._totals_lock:
+            self.totals.merge(solution.counters)
+            if solution.from_cache:
+                self.metrics.cache_hit_solves += 1
+            else:
+                self.metrics.kernel_sweeps += 1
+        return {
+            "ok": True, "status": 200,
+            "result": {
+                "method": solution.method,
+                "rule": prepared.rule.value,
+                "n": solution.n,
+                "order": list(solution.order),
+                "mincost": solution.mincost,
+                "size": solution.size,
+                "num_terminals": solution.num_terminals,
+                "exact": solution.exact,
+                "from_cache": solution.from_cache,
+                "elapsed_seconds": round(elapsed, 6),
+                "counters": solution.counters.snapshot(),
+            },
+        }
+
+    # -- observability -------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The ``/metrics`` document (also handy for embedders)."""
+        stats = self.cache.stats
+        with self._totals_lock:
+            counters = self.totals.snapshot()
+            server = self.metrics.snapshot()
+        server.update(
+            queue_depth=self._queue.qsize() if self._queue is not None else 0,
+            in_flight=self._in_flight,
+            draining=self._draining,
+            uptime_seconds=round(time.monotonic() - self._started_at, 3),
+        )
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "server": server,
+            "cache": {**stats.snapshot(), "hit_rate": round(stats.hit_rate, 6)},
+            "counters": counters,
+            "config": {
+                "backend": self.config.backend,
+                "jobs": self.config.jobs,
+                "engine": self.config.engine,
+                "frontier_store": self.config.frontier_store,
+                "queue_limit": self.config.queue_limit,
+                "max_inflight": self.config.max_inflight,
+                "default_timeout": self.config.default_timeout,
+                "cache_dir": self.config.cache_dir,
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# entry points: daemon main, in-process harness, client
+# ----------------------------------------------------------------------
+
+async def _amain(config: ServeConfig) -> int:
+    server = OrderingServer(config)
+    await server.start()
+    address = server.address
+    where = (
+        address if isinstance(address, str) else f"{address[0]}:{address[1]}"
+    )
+    print(
+        f"repro serve: listening on {where} "
+        f"(backend={config.backend}, jobs={config.jobs}, "
+        f"engine={config.engine}, queue_limit={config.queue_limit}, "
+        f"max_inflight={config.max_inflight})",
+        flush=True,
+    )
+    await server.wait_closed()
+    print("repro serve: drained, exiting", flush=True)
+    return 0
+
+
+def serve_main(config: ServeConfig) -> int:
+    """Run a daemon until it drains (the ``repro serve`` CLI body)."""
+    return asyncio.run(_amain(config))
+
+
+@contextmanager
+def running_server(
+    config: Optional[ServeConfig] = None, **overrides: Any
+) -> Iterator[OrderingServer]:
+    """An :class:`OrderingServer` on a background thread's event loop.
+
+    For tests, benchmarks and notebook embedders: yields the started
+    server (read :attr:`OrderingServer.address` to connect), drains it
+    on exit.  Signal handlers are forced off — a thread's loop cannot
+    own process signals; send the daemon form a real SIGTERM instead.
+    """
+    config = replace(
+        config or ServeConfig(), install_signal_handlers=False, **overrides
+    )
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(
+        target=loop.run_forever, name="repro-serve-loop", daemon=True
+    )
+    thread.start()
+    server = OrderingServer(config)
+    try:
+        asyncio.run_coroutine_threadsafe(server.start(), loop).result(30)
+        yield server
+    finally:
+        try:
+            asyncio.run_coroutine_threadsafe(
+                server.shutdown(), loop
+            ).result(60)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+            loop.close()
+
+
+class ServeClient:
+    """Minimal synchronous NDJSON client for one daemon connection.
+
+    ``address`` is ``(host, port)`` or a unix-socket path.  One request
+    is one line; :meth:`request` returns the raw response dict, the
+    convenience wrappers raise :class:`~repro.errors.ServeError` when
+    the server says ``ok: false``.
+    """
+
+    def __init__(
+        self,
+        address: Union[Tuple[str, int], Sequence[Any], str],
+        timeout: float = 120.0,
+    ) -> None:
+        if isinstance(address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(address)
+        else:
+            host, port = address
+            sock = socket.create_connection((host, int(port)), timeout=timeout)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self._next_id = 0
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, block for its response line."""
+        if "id" not in payload:
+            self._next_id += 1
+            payload = {**payload, "id": self._next_id}
+        self._file.write(
+            json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        )
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeError("server closed the connection", status=503)
+        return json.loads(line)
+
+    def _checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        response = self.request(payload)
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise ServeError(
+                f"{error.get('type', 'Error')}: "
+                f"{error.get('message', 'request failed')}",
+                status=int(response.get("status", 500)),
+            )
+        return response
+
+    def solve(self, **payload: Any) -> Dict[str, Any]:
+        """``solve`` op; returns the ``result`` dict.  Keyword args are
+        the wire fields (``expr=``/``values=``/``method=``/...)."""
+        response = self._checked({**payload, "op": "solve"})
+        return response["result"]
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._checked({"op": "metrics"})["metrics"]
+
+    def ping(self) -> bool:
+        return bool(self._checked({"op": "ping"}).get("pong"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

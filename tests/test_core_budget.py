@@ -452,17 +452,86 @@ class TestSignalHandling:
         assert signal.getsignal(signal.SIGINT) is before
 
     def test_noop_off_main_thread(self):
+        import signal
+        import warnings
+
         budget = Budget()
         seen = []
+        caught = []
+        before = (
+            signal.getsignal(signal.SIGINT),
+            signal.getsignal(signal.SIGTERM),
+        )
 
         def worker():
-            with handle_signals(budget) as installed:
-                seen.append(installed)
+            with warnings.catch_warnings(record=True) as log:
+                warnings.simplefilter("always")
+                with handle_signals(budget) as installed:
+                    seen.append(installed)
+                caught.extend(log)
 
         thread = threading.Thread(target=worker)
         thread.start()
         thread.join()
         assert seen == [False]
+        # The no-op is loud: a RuntimeWarning names the asyncio-correct
+        # alternative, and the process handlers were never touched.
+        assert any(
+            issubclass(w.category, RuntimeWarning)
+            and "no-op off the main thread" in str(w.message)
+            for w in caught
+        )
+        assert (
+            signal.getsignal(signal.SIGINT),
+            signal.getsignal(signal.SIGTERM),
+        ) == before
+
+
+class TestStaleRearm:
+    """A Budget's clock arms once; re-arming an exhausted one is loud."""
+
+    def test_rearm_exhausted_budget_warns(self):
+        import warnings
+
+        clock = iter([0.0, 10.0, 10.0, 10.0, 10.0]).__next__
+        budget = Budget(deadline=1.0, clock=clock)
+        budget.arm()
+        # 10s elapsed on a 1s deadline: the next arm() is the stale-clock
+        # footgun (every run under this budget aborts immediately).
+        with pytest.warns(RuntimeWarning, match="re-arming an exhausted"):
+            budget.arm()
+        # The clock kept its original start: still exhausted.
+        assert budget.remaining() == 0.0
+
+    def test_rearm_live_budget_is_silent(self):
+        import warnings
+
+        budget = Budget(deadline=60.0)
+        budget.arm()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            budget.arm()  # plenty of deadline left: not the footgun
+
+    def test_ensure_armed_is_always_silent(self):
+        import warnings
+
+        clock = iter([0.0, 10.0, 10.0, 10.0]).__next__
+        budget = Budget(deadline=1.0, clock=clock)
+        budget.arm()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            # The internal engine idiom: exhausted or not, ensure_armed
+            # never warns — exhaustion surfaces as BudgetExceeded at the
+            # next layer boundary instead.
+            assert budget.ensure_armed() is budget
+
+    def test_subbudget_gets_a_fresh_clock(self):
+        budget = Budget(deadline=0.5)
+        budget.arm()
+        child = budget.subbudget(60.0)
+        child.arm()
+        assert child.remaining() > 1.0
+        assert child.cancel is budget.cancel
 
 
 # ----------------------------------------------------------------------

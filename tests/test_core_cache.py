@@ -435,3 +435,131 @@ class TestOptimizeMany:
     def test_jobs_validated(self):
         with pytest.raises(ValueError):
             optimize_many([TruthTable.random(2, seed=28)], jobs=0)
+
+
+class TestCrossProcessDisk:
+    """The disk store is shared state: eviction and stats must hold up
+    when several processes (daemons, CLI runs) mutate one directory."""
+
+    def test_filelock_excludes_threads_and_reenters_nothing(self, tmp_path):
+        from repro.core.cache import FileLock
+
+        lock = FileLock(str(tmp_path / ".lock"))
+        order = []
+
+        def worker(tag):
+            with lock:
+                order.append((tag, "in"))
+                order.append((tag, "out"))
+
+        import threading
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Critical sections never interleave: every "in" is immediately
+        # followed by the same tag's "out".
+        for i in range(0, len(order), 2):
+            assert order[i][0] == order[i + 1][0]
+            assert (order[i][1], order[i + 1][1]) == ("in", "out")
+
+    def test_disk_eviction_caps_entries_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(directory=str(tmp_path), max_disk_entries=3)
+        tables = [TruthTable.random(4, seed=s) for s in range(6)]
+        keys = []
+        for tt in tables:
+            key = table_key([tt], ReductionRule.BDD)
+            keys.append(key.fingerprint)
+            cache.store(key.fingerprint, {"seed": key.fingerprint})
+            # mtime granularity: make "oldest" unambiguous.
+            os.utime(cache.entry_path(key.fingerprint))
+            time.sleep(0.01)
+        on_disk = sorted(
+            name for name in os.listdir(str(tmp_path))
+            if name.startswith("cache_")
+        )
+        assert len(on_disk) == 3
+        # The three newest survive.
+        survivors = {f"cache_{fp}.json" for fp in keys[-3:]}
+        assert set(on_disk) == survivors
+        assert cache.stats.evictions >= 3
+
+    def test_vanished_entry_is_a_miss_not_an_error(self, tmp_path):
+        import os
+
+        writer = ResultCache(directory=str(tmp_path))
+        reader = ResultCache(directory=str(tmp_path))
+        key = table_key([TruthTable.random(4, seed=91)], ReductionRule.BDD)
+        writer.store(key.fingerprint, {"payload": 1})
+        # A sibling process evicts the file between the reader's memory
+        # miss and its disk read.
+        os.unlink(reader.entry_path(key.fingerprint))
+        assert reader.lookup(key.fingerprint) is None
+        assert reader.stats.misses == 1
+
+    def test_damaged_entry_still_raises(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path))
+        key = table_key([TruthTable.random(4, seed=92)], ReductionRule.BDD)
+        cache.store(key.fingerprint, {"payload": 1})
+        fresh = ResultCache(directory=str(tmp_path))
+        path = fresh.entry_path(key.fingerprint)
+        with open(path, "w") as handle:
+            handle.write('{"truncated": ')
+        with pytest.raises(CacheError):
+            fresh.lookup(key.fingerprint)
+
+    def test_two_process_stress(self, tmp_path):
+        """N writer processes over one directory with a tight disk cap:
+        no crashes, the cap holds, and every surviving entry is intact."""
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent("""
+            import sys
+            from repro.core.cache import ResultCache, table_key
+            from repro.core.spec import ReductionRule
+            from repro.truth_table import TruthTable
+
+            directory, offset = sys.argv[1], int(sys.argv[2])
+            cache = ResultCache(directory=directory, max_disk_entries=5)
+            for seed in range(offset, offset + 12):
+                tt = TruthTable.random(4, seed=seed)
+                key = table_key([tt], ReductionRule.BDD)
+                cache.store(key.fingerprint, {"seed": seed})
+                cache.lookup(key.fingerprint)
+            print("ok")
+        """)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(tmp_path), str(100 * i)],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            )
+            for i in range(3)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err.decode()
+            assert out.decode().strip() == "ok"
+        survivors = [
+            name for name in os.listdir(str(tmp_path))
+            if name.startswith("cache_")
+        ]
+        assert 1 <= len(survivors) <= 5
+        # Whatever survived the melee is readable and intact.
+        fresh = ResultCache(directory=str(tmp_path))
+        for name in survivors:
+            fingerprint = name[len("cache_"):-len(".json")]
+            payload = fresh.lookup(fingerprint)
+            assert payload is not None and "seed" in payload

@@ -366,3 +366,78 @@ class TestTransportObservability:
                backend="thread", jobs=4)
         assert "tasks_shipped" not in counters.extra
         assert "bytes_shipped" not in counters.extra
+
+
+class TestSweepMutex:
+    """One warm backend instance serves many sweeps — but one at a time.
+
+    Before the mutex, concurrent sweeps silently overwrote each other's
+    ``_context``/``_kernel``, corrupting both results; the serve daemon's
+    request workers are exactly that shape."""
+
+    def test_concurrent_sweeps_on_one_backend_stay_correct(self):
+        backend = ThreadBackend(jobs=2)
+        tables = [TruthTable.random(6, seed=s) for s in (61, 62, 63, 64)]
+        expected = [run_fs(tt).mincost for tt in tables]
+        results = [None] * len(tables)
+        errors = []
+
+        def worker(index):
+            try:
+                results[index] = run_fs(
+                    tables[index], backend=backend, jobs=2
+                ).mincost
+            except Exception as exc:  # pragma: no cover - the old bug
+                errors.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(len(tables))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            backend.close()
+        assert errors == []
+        assert results == expected
+
+    def test_nested_sweep_on_same_backend_raises(self):
+        from repro.errors import OrderingError
+
+        backend = SerialBackend()
+        tt = TruthTable.random(4, seed=65)
+        try:
+            run_fs(tt, backend=backend)  # warm it; lock must be released
+            context = _sweep_context_for(tt)
+            backend.begin_sweep(context)
+            try:
+                with pytest.raises(OrderingError, match="mid-sweep"):
+                    backend.begin_sweep(context)
+            finally:
+                backend.end_sweep()
+            # The lock released cleanly: the backend is reusable.
+            assert run_fs(tt, backend=backend).mincost == run_fs(tt).mincost
+        finally:
+            backend.close()
+
+    def test_end_sweep_without_begin_is_harmless(self):
+        backend = SerialBackend()
+        backend.end_sweep()  # ProcessBackend.close() does this on shutdown
+        backend.close()
+
+
+def _sweep_context_for(table):
+    """A minimal valid SweepContext for handshake-level tests."""
+    from repro.core.executor import SweepContext
+    from repro.core.spec import ReductionRule
+
+    return SweepContext(
+        base=initial_state(table, ReductionRule.BDD),
+        kernel="numpy",
+        rule=ReductionRule.BDD,
+        jobs=1,
+        counters=OperationCounters(),
+    )
