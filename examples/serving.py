@@ -10,8 +10,9 @@ duplicate requests — behind a newline-delimited-JSON socket.
 
 This example embeds a server in-process (``running_server``; the
 standalone form is ``python -m repro serve --port 7421``), drives it
-with two clients, and reads the metrics that prove the sharing:
-duplicate requests cost exactly one kernel sweep.
+with two clients, submits a whole manifest as one ``solve_many``
+request, and reads the metrics that prove the sharing: duplicate
+requests cost exactly one kernel sweep.
 
 Run:  python examples/serving.py
 """
@@ -58,8 +59,34 @@ def main() -> None:
             print(f"window sweep: {window['mincost']} internal nodes "
                   f"(exact={window['exact']})")
 
-            # 5. The metrics document proves the sharing: two fs
-            #    requests, one kernel sweep.
+            # 5. A whole manifest in one request line: solve_many
+            #    fingerprints every item BEFORE queueing, so the three
+            #    disguises of one new function below cost one sweep and
+            #    the repeat of step 2's function costs none.  Per-item
+            #    statuses say how each answer was produced, and every
+            #    body is bit-identical to an individual solve's.
+            batch = client.solve_many(
+                [
+                    {"expr": "x0 & x1 & x2 | x3"},
+                    {"expr": "x3 | x2 & x1 & x0"},      # renamed duplicate
+                    {"expr": "~(x0 & x1 & x2 | x3)"},   # complemented
+                    {"expr": "x0 & x1 | x2 & x3 | x4 & x5"},  # step-2 repeat
+                ],
+                method="fs",
+            )
+            summary = batch["summary"]
+            print(f"solve_many: {summary['items']} items, "
+                  f"{summary['unique']} unique functions, statuses "
+                  f"{batch['statuses']}")
+            for body in batch["results"]:
+                result = body["result"]
+                print(f"  order={result['order']} "
+                      f"mincost={result['mincost']} "
+                      f"from_cache={result['from_cache']}")
+
+            # 6. The metrics document proves the sharing: six fs solves
+            #    of two distinct functions plus one window sweep — three
+            #    kernel sweeps total, everything else cache-served.
             metrics = client.metrics()
             gauges = metrics["server"]
             print(f"server: {gauges['completed']} completed, "
@@ -70,7 +97,7 @@ def main() -> None:
                   f"({metrics['cache']['hits']} hits / "
                   f"{metrics['cache']['misses']} misses)")
 
-    # 6. Leaving the context drains the server: admitted work finishes,
+    # 7. Leaving the context drains the server: admitted work finishes,
     #    the pool and cache shut down cleanly.  The standalone daemon
     #    does the same on SIGTERM and exits 0.
     print("daemon drained cleanly")

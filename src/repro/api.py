@@ -97,6 +97,24 @@ class OrderingSolution:
         methods without cache support simply report ``False``."""
         return bool(getattr(self.result, "from_cache", False))
 
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-able summary of this solution — the ``result`` body the
+        :mod:`repro.serve` daemon returns.  Single ``solve`` responses
+        and ``solve_many`` per-item bodies both come from here, which is
+        what makes them bit-identical by construction."""
+        return {
+            "method": self.method,
+            "rule": self.rule.value,
+            "n": self.n,
+            "order": list(self.order),
+            "mincost": self.mincost,
+            "size": self.size,
+            "num_terminals": self.num_terminals,
+            "exact": self.exact,
+            "from_cache": self.from_cache,
+            "counters": self.counters.snapshot(),
+        }
+
 
 def _as_table(problem: Any, n: Optional[int] = None) -> TruthTable:
     if isinstance(problem, TruthTable):

@@ -147,6 +147,13 @@ def _emit_profile(args: argparse.Namespace, profiler: Optional[Profiler],
 
 
 def _run_optimize(args: argparse.Namespace) -> int:
+    if getattr(args, "connect", None):
+        if not args.batch:
+            raise ReproError(
+                "--connect submits a --batch manifest to a running "
+                "'repro serve' daemon; give --batch too"
+            )
+        return _run_optimize_batch_connect(args)
     if args.batch:
         return _run_optimize_batch(args)
     if args.all_outputs:
@@ -299,13 +306,13 @@ def _table_from_entry(entry: dict, base_dir: str, index: int) -> TruthTable:
                               entry.get("num_vars"))
 
 
-def _run_optimize_batch(args: argparse.Namespace) -> int:
+def _load_batch_manifest(args: argparse.Namespace):
+    """Load a ``--batch`` manifest: returns ``(labels, tables, loaded_at,
+    load_errors)`` with one label per manifest entry and malformed
+    entries downgraded to [failed] rows instead of aborting the batch."""
     import json as json_module
     import os
 
-    from .core.cache import ResultCache, optimize_many
-
-    rule = ReductionRule(args.rule)
     with open(args.batch) as handle:
         manifest = json_module.load(handle)
     entries = manifest.get("tables") if isinstance(manifest, dict) else manifest
@@ -347,6 +354,14 @@ def _run_optimize_batch(args: argparse.Namespace) -> int:
             continue
         tables.append(table)
         loaded_at.append(index)
+    return labels, tables, loaded_at, load_errors
+
+
+def _run_optimize_batch(args: argparse.Namespace) -> int:
+    from .core.cache import ResultCache, optimize_many
+
+    rule = ReductionRule(args.rule)
+    labels, tables, loaded_at, load_errors = _load_batch_manifest(args)
 
     profiler = _make_profiler(args)
     cache = _make_cache(args)
@@ -407,6 +422,87 @@ def _run_optimize_batch(args: argparse.Namespace) -> int:
           f"({outcome.stats['stores']} stored)")
     _emit_profile(args, profiler)
     return 1 if counts["error"] else 0
+
+
+def _parse_connect(spec: str):
+    """``--connect`` address: ``host:port`` or a unix-socket path."""
+    if "/" in spec or ":" not in spec:
+        return spec  # unix-socket path
+    host, _, port = spec.rpartition(":")
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise ReproError(
+            f"--connect expects HOST:PORT or a unix-socket path, got "
+            f"{spec!r}"
+        ) from None
+
+
+def _run_optimize_batch_connect(args: argparse.Namespace) -> int:
+    """Submit the ``--batch`` manifest to a running daemon as ONE
+    ``solve_many`` request: the server dedups by canonical fingerprint
+    before queueing and answers with per-item bodies bit-identical to
+    individual solves."""
+    from .serve import ServeClient, ServeError
+
+    rule = ReductionRule(args.rule)
+    labels, tables, loaded_at, load_errors = _load_batch_manifest(args)
+    # Files were loaded locally; everything travels as explicit truth
+    # tables so the daemon needs no filesystem access.
+    items = [
+        {"values": [int(v) for v in table.values], "n": table.n}
+        for table in tables
+    ]
+    batch_kwargs = {"method": "fs", "rule": rule.value}
+    if getattr(args, "timeout", None) is not None:
+        # Over the wire the whole manifest shares ONE budget (the items
+        # race each other for the same wall clock).
+        batch_kwargs["timeout"] = args.timeout
+    if getattr(args, "fallback", None) is not None:
+        batch_kwargs["fallback"] = args.fallback
+    try:
+        with ServeClient(_parse_connect(args.connect)) as client:
+            response = client.solve_many(items, **batch_kwargs)
+    except ConnectionError as exc:
+        raise ReproError(
+            f"could not reach a daemon at {args.connect!r}: {exc} "
+            "(start one with 'repro serve')"
+        ) from None
+    except ServeError as exc:
+        raise ReproError(f"daemon rejected the batch: {exc}") from None
+    bodies = response["results"]
+    statuses = response["statuses"]
+    summary = response["summary"]
+    body_at = dict(zip(loaded_at, zip(bodies, statuses)))
+    name_width = max(len(label) for label in labels)
+    errors = len(load_errors)
+    for index, label in enumerate(labels):
+        if index in load_errors:
+            error_type, message = load_errors[index]
+            print(f"{label:<{name_width}}  [failed] {error_type}: {message}")
+            continue
+        body, status = body_at[index]
+        if status == "error":
+            error = body.get("error", {})
+            errors += 1
+            print(f"{label:<{name_width}}  [failed] "
+                  f"{error.get('type', 'Error')}: "
+                  f"{error.get('message', 'request failed')}")
+            continue
+        result = body["result"]
+        suffix = "" if status == "ok" else f"  [{status}]"
+        if status == "fallback":
+            suffix = f"  [fallback:{result.get('rung')}]"
+        order = " ".join(f"x{v}" for v in result["order"])
+        print(f"{label:<{name_width}}  n={result['n']}  "
+              f"nodes={result['mincost']}  {order}{suffix}")
+    print(f"batch            : {len(labels)} tables, "
+          f"{summary['unique']} unique functions (via {args.connect})")
+    print(f"statuses         : {summary['ok']} ok / {summary['cached']} "
+          f"cached / {summary['coalesced']} coalesced / "
+          f"{summary['fallback']} fallback / "
+          f"{summary['error'] + len(load_errors)} failed")
+    return 1 if errors else 0
 
 
 def _run_tables(args: argparse.Namespace) -> int:
@@ -641,6 +737,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "tables are deduplicated by canonical fingerprint "
                           "before the distinct ones fan out over --jobs, and "
                           "duplicates resolve through the result cache")
+    opt.add_argument("--connect", metavar="HOST:PORT|SOCKET",
+                     help="submit the --batch manifest to a running "
+                          "'repro serve' daemon as one solve_many request "
+                          "instead of solving locally: the server dedups "
+                          "by canonical fingerprint before queueing, the "
+                          "whole manifest shares one --timeout budget, and "
+                          "answers are bit-identical to local solves")
     opt.set_defaults(handler=_run_optimize)
 
     tables = sub.add_parser("tables", help="re-derive the Appendix C tables")
@@ -708,6 +811,15 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="cap the on-disk cache at N entries, evicting "
                           "oldest (default: unbounded)")
+    srv.add_argument("--cache-shards", type=positive_int, default=16,
+                     metavar="N",
+                     help="fingerprint-prefix shard count for the disk "
+                          "cache (default 16): entries live under "
+                          "<cache-dir>/<shard>/ with one lockfile per "
+                          "shard, so concurrent daemons sharing a cache "
+                          "directory stop contending on a single lock; "
+                          "flat PR-era directories are migrated lazily on "
+                          "first write and stay readable throughout")
     srv.add_argument("--queue-limit", type=positive_int, default=64,
                      help="bounded request-queue depth; requests beyond it "
                           "are rejected with status 429 (default 64)")
@@ -751,6 +863,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         cache_dir=getattr(args, "cache_dir", None),
         cache_size=args.cache_size,
         max_disk_entries=args.max_disk_entries,
+        cache_shards=args.cache_shards,
         queue_limit=args.queue_limit,
         max_inflight=args.max_inflight,
         default_timeout=getattr(args, "timeout", None),

@@ -117,29 +117,65 @@ class FileLock:
     staleness cutoff so a crashed holder cannot wedge the directory
     forever.  Reentrant within a thread is NOT supported — hold it for
     one short critical section at a time.
+
+    Contention is observable: an acquisition that had to wait (the
+    non-blocking first attempt lost to another thread or process) tallies
+    :attr:`contentions` / :attr:`wait_seconds` and reports the wait to
+    ``on_wait`` — how :class:`ResultCache` proves shard locks removed
+    the single-directory bottleneck.
     """
 
-    def __init__(self, path: str, stale_seconds: float = 30.0) -> None:
+    def __init__(
+        self,
+        path: str,
+        stale_seconds: float = 30.0,
+        on_wait: Optional[Any] = None,
+    ) -> None:
         self.path = path
         self.stale_seconds = stale_seconds
+        self.on_wait = on_wait
+        """Optional ``callable(seconds)`` invoked after every contended
+        acquisition with how long it blocked."""
+
+        self.contentions = 0
+        self.wait_seconds = 0.0
         self._fd: Optional[int] = None
         self._thread_lock = threading.Lock()
 
+    def _note_wait(self, started: float) -> None:
+        waited = time.perf_counter() - started
+        self.contentions += 1
+        self.wait_seconds += waited
+        if self.on_wait is not None:
+            self.on_wait(waited)
+
     def acquire(self) -> None:
-        self._thread_lock.acquire()
+        started = time.perf_counter()
+        contended = not self._thread_lock.acquire(blocking=False)
+        if contended:
+            self._thread_lock.acquire()
         try:
             if fcntl is not None:
                 fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
-                fcntl.flock(fd, fcntl.LOCK_EX)
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    contended = True
+                    fcntl.flock(fd, fcntl.LOCK_EX)
                 self._fd = fd
+                if contended:
+                    self._note_wait(started)
                 return
             while True:  # pragma: no cover - exercised only off-POSIX
                 try:
                     self._fd = os.open(
                         self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
                     )
+                    if contended:
+                        self._note_wait(started)
                     return
                 except FileExistsError:
+                    contended = True
                     try:
                         age = time.time() - os.path.getmtime(self.path)
                         if age > self.stale_seconds:
@@ -312,7 +348,15 @@ class CacheStats:
     """Disk writes that needed at least one retry (see
     :class:`~repro.core.checkpoint.RetryPolicy`), counted per attempt."""
 
-    def snapshot(self) -> Dict[str, int]:
+    lock_waits: int = 0
+    """Shard-lock acquisitions that had to block on another holder
+    (thread or process).  Zero when concurrent writers land in distinct
+    shards — the whole point of fingerprint-prefix sharding."""
+
+    lock_wait_seconds: float = 0.0
+    """Total wall-clock spent blocked on contended shard locks."""
+
+    def snapshot(self) -> Dict[str, Any]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -320,6 +364,8 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "evictions": self.evictions,
             "retries": self.retries,
+            "lock_waits": self.lock_waits,
+            "lock_wait_seconds": round(self.lock_wait_seconds, 6),
         }
 
     @property
@@ -336,16 +382,27 @@ class ResultCache:
     memory and disk layers hold the same bytes; the disk layer
     write-throughs every store and backfills the LRU on a disk hit.
 
-    The disk layer is additionally **cross-process-safe**: several
-    processes (two daemons, a daemon plus CLI runs) may share one
-    directory.  Entry files were already written atomically
-    (temp-name + ``os.replace``); on top of that, every disk *mutation*
-    — entry writes and the :attr:`max_disk_entries` eviction scan — runs
-    under a :class:`FileLock` on ``<directory>/.cache.lock``, and a
-    reader that loses the race with a sibling's eviction (the file
-    vanishes between the existence probe and the read) records a plain
-    miss instead of raising.  Damaged bytes still raise
-    :class:`~repro.errors.CacheError` — only *absence* is tolerated.
+    The disk layer is additionally **cross-process-safe** and **sharded
+    by fingerprint prefix**: several processes (two daemons, a daemon
+    plus CLI runs) may share one directory without contending on a
+    single lockfile.  Entries live at ``<directory>/<shard>/cache_<fp>
+    .json`` where ``<shard>`` is ``fp[:2]`` reduced modulo
+    :attr:`shards` (default 16), and every disk *mutation* — entry
+    writes and the :attr:`max_disk_entries` eviction pass — runs under
+    that shard's own :class:`FileLock` (``<shard>/.cache.lock``), so
+    concurrent writers only serialize when their fingerprints land in
+    the same shard.  Entry files were already written atomically
+    (temp-name + ``os.replace``); a reader that loses the race with a
+    sibling's eviction (the file vanishes between the existence probe
+    and the read) records a plain miss instead of raising.  Damaged
+    bytes still raise :class:`~repro.errors.CacheError` — only
+    *absence* is tolerated.
+
+    Pre-sharding directories (flat ``<directory>/cache_<fp>.json``
+    layout) keep working: reads fall back to the flat path
+    transparently, and the first disk write performs a one-time lazy
+    migration that moves every flat entry into its shard (under the
+    legacy root ``.cache.lock``, so it is safe against stragglers).
     """
 
     def __init__(
@@ -354,6 +411,7 @@ class ResultCache:
         directory: Optional[str] = None,
         retry: Optional[RetryPolicy] = None,
         max_disk_entries: Optional[int] = None,
+        shards: int = 16,
     ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
@@ -361,6 +419,8 @@ class ResultCache:
             raise ValueError(
                 f"max_disk_entries must be >= 1, got {max_disk_entries}"
             )
+        if shards < 1 or shards > 256:
+            raise ValueError(f"shards must be in 1..256, got {shards}")
         self.maxsize = maxsize
         self.directory = directory
         self.retry = retry
@@ -369,20 +429,61 @@ class ResultCache:
         each retried attempt tallies :attr:`CacheStats.retries`."""
 
         self.max_disk_entries = max_disk_entries
-        """Cap on entry files kept in :attr:`directory`; crossing it
-        evicts the oldest files (by modification time) under the
-        interprocess lock.  ``None`` = unbounded (the historical
+        """Global cap on entry files kept in :attr:`directory` (across
+        all shards); crossing it evicts the oldest files (by
+        modification time).  ``None`` = unbounded (the historical
         behavior)."""
+
+        self.shards = shards
+        """Disk-store shard count.  The shard of a fingerprint is
+        ``int(fp[:2], 16) % shards``, so two caches over one directory
+        must agree on the count (a mismatch is harmless but wasteful:
+        entries written under one count read as misses under the
+        other)."""
 
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.Lock()
-        self._disk_lock: Optional[FileLock] = None
+        self._shard_locks: Dict[str, FileLock] = {}
+        self._migrated = False
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
-            self._disk_lock = FileLock(os.path.join(directory, ".cache.lock"))
+
+    def _note_lock_wait(self, waited: float) -> None:
+        with self._lock:
+            self.stats.lock_waits += 1
+            self.stats.lock_wait_seconds += waited
+
+    def shard_name(self, fingerprint: str) -> str:
+        """Directory name of the shard holding ``fingerprint``."""
+        return f"{int(fingerprint[:2], 16) % self.shards:02x}"
+
+    def _shard_lock(self, shard: str) -> FileLock:
+        assert self.directory is not None
+        with self._lock:
+            lock = self._shard_locks.get(shard)
+            if lock is None:
+                shard_dir = os.path.join(self.directory, shard)
+                os.makedirs(shard_dir, exist_ok=True)
+                lock = FileLock(
+                    os.path.join(shard_dir, ".cache.lock"),
+                    on_wait=self._note_lock_wait,
+                )
+                self._shard_locks[shard] = lock
+            return lock
 
     def entry_path(self, fingerprint: str) -> str:
+        """Sharded on-disk path of ``fingerprint``'s entry file."""
+        if self.directory is None:
+            raise ValueError("cache has no on-disk store")
+        return os.path.join(
+            self.directory, self.shard_name(fingerprint),
+            f"cache_{fingerprint}.json",
+        )
+
+    def flat_entry_path(self, fingerprint: str) -> str:
+        """Pre-sharding (PR-7 era) path; reads fall back to it until the
+        lazy migration has run."""
         if self.directory is None:
             raise ValueError("cache has no on-disk store")
         return os.path.join(self.directory, f"cache_{fingerprint}.json")
@@ -394,7 +495,9 @@ class ResultCache:
         (raising :class:`~repro.errors.CacheError` on damage) and
         backfills the memory layer.  An entry that *vanishes* between
         the existence probe and the read — a sibling process evicted it
-        — is a miss, not an error.
+        — is a miss, not an error.  A directory written before sharding
+        landed (flat ``cache_*.json`` layout) is consulted at the flat
+        path too, so old cache dirs serve hits before any migration.
         """
         with self._lock:
             entry = self._entries.get(fingerprint)
@@ -404,6 +507,9 @@ class ResultCache:
                 return entry
         if self.directory is not None:
             path = self.entry_path(fingerprint)
+            if not os.path.exists(path):
+                flat = self.flat_entry_path(fingerprint)
+                path = flat if os.path.exists(flat) else path
             if os.path.exists(path):
                 try:
                     payload = read_checked_json(path, error=CacheError)
@@ -435,18 +541,21 @@ class ResultCache:
         Disk writes go through :attr:`retry` when one is configured, so a
         transiently flaky filesystem costs backoff, not a lost batch.
         The write (and any :attr:`max_disk_entries` eviction it
-        triggers) holds the directory's interprocess :class:`FileLock`,
-        so two processes never interleave a scan with a mutation."""
+        triggers) holds only the target *shard's* interprocess
+        :class:`FileLock` — writers in distinct shards never wait on
+        each other.  The first write also runs the one-time lazy
+        migration of any pre-sharding flat-layout entries."""
         with self._lock:
             self._insert(fingerprint, entry)
             self.stats.stores += 1
         if self.directory is not None:
+            self._migrate_flat_entries()
             path = self.entry_path(fingerprint)
             payload = {"fingerprint": fingerprint, "entry": entry}
+            lock = self._shard_lock(self.shard_name(fingerprint))
 
             def write() -> None:
-                assert self._disk_lock is not None
-                with self._disk_lock:
+                with lock:
                     write_checked_json(path, payload)
                     if self.max_disk_entries is not None:
                         self._evict_disk_locked()
@@ -460,18 +569,62 @@ class ResultCache:
             else:
                 write()
 
+    def _migrate_flat_entries(self) -> None:
+        """Move pre-sharding flat-layout entries into their shards, once.
+
+        Runs before the first disk write of this instance.  Flat files
+        are moved with ``os.replace`` (atomic; mtime — the eviction
+        ordering — is preserved) under the legacy root ``.cache.lock``,
+        which is exactly what a pre-sharding process holds for its
+        mutations, so a straggler writer cannot interleave.  A file a
+        sibling already migrated is skipped silently.
+        """
+        assert self.directory is not None
+        if self._migrated:
+            return
+        self._migrated = True
+        flat = glob.glob(os.path.join(self.directory, "cache_*.json"))
+        if not flat:
+            return
+        root_lock = FileLock(
+            os.path.join(self.directory, ".cache.lock"),
+            on_wait=self._note_lock_wait,
+        )
+        with root_lock:
+            for name in glob.glob(
+                os.path.join(self.directory, "cache_*.json")
+            ):
+                fingerprint = os.path.basename(name)[len("cache_"):-len(".json")]
+                target = self.entry_path(fingerprint)
+                os.makedirs(os.path.dirname(target), exist_ok=True)
+                try:
+                    os.replace(name, target)
+                except FileNotFoundError:  # pragma: no cover - sibling race
+                    continue
+
+    def _disk_entry_files(self) -> List[str]:
+        """Every entry file in the store: all shards plus any flat-layout
+        stragglers a pre-sharding process may still be writing."""
+        assert self.directory is not None
+        return glob.glob(
+            os.path.join(self.directory, "*", "cache_*.json")
+        ) + glob.glob(os.path.join(self.directory, "cache_*.json"))
+
     def _evict_disk_locked(self) -> None:
         """Drop the oldest entry files beyond :attr:`max_disk_entries`.
 
-        Caller holds the interprocess lock.  Oldest-by-mtime is the
-        cross-process analogue of the in-memory LRU (an ``os.replace``
-        refresh on re-store bumps the time); a file a sibling already
-        removed is skipped silently.
+        Caller holds the written shard's interprocess lock.  Accounting
+        is *global* — the scan counts every shard so the cap bounds the
+        whole directory — while the lock held is per-shard: unlinks are
+        atomic, sibling readers treat a vanished file as a miss, and a
+        file a sibling already removed is skipped silently, so evicting
+        across shard boundaries needs no cross-shard locking.
+        Oldest-by-mtime is the cross-process analogue of the in-memory
+        LRU (an ``os.replace`` refresh on re-store bumps the time).
         """
         assert self.directory is not None and self.max_disk_entries is not None
-        pattern = os.path.join(self.directory, "cache_*.json")
         files = []
-        for name in glob.glob(pattern):
+        for name in self._disk_entry_files():
             try:
                 files.append((os.path.getmtime(name), name))
             except OSError:  # vanished mid-scan

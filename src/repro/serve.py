@@ -33,6 +33,18 @@ pipeline.  Operations:
     ``timeout`` (seconds, clamped to the server's ``default_timeout``)
     and ``priority`` (lower runs first).  ``fs_star`` is not servable —
     its problem is a live ``FSState``, which does not travel as JSON.
+``{"op": "solve_many", "items": [{...}, {...}], ...}``
+    Batch solve: a manifest of solve specs in one request.  Items are
+    fingerprinted and deduplicated *before* queueing (the
+    ``optimize_many`` economics, over the wire); the distinct misses fan
+    through the priority queue under **one shared subbudget** (the
+    batch-level ``timeout``), and the response carries per-item bodies
+    bit-identical to N individual ``solve`` calls plus a parallel
+    ``statuses`` list (``ok`` / ``cached`` / ``coalesced`` /
+    ``fallback`` / ``error``) and a ``summary``.  Batch-level
+    ``method`` / ``rule`` / ``fallback`` are inherited by items that do
+    not set their own; item-level ``timeout`` is rejected (the batch
+    shares one budget).
 ``{"op": "metrics"}``
     The observability counters (merged
     :class:`~repro.analysis.counters.OperationCounters` across every
@@ -91,7 +103,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .analysis.counters import OperationCounters
-from .api import solve
+from .api import OrderingSolution, solve
 from .core.budget import Budget
 from .core.cache import ResultCache, table_key
 from .core.engine import EngineConfig
@@ -149,6 +161,15 @@ class ServeConfig:
     cache_size: int = 4096
     max_disk_entries: Optional[int] = None
 
+    cache_shards: int = 16
+    """Fingerprint-prefix shard count for the disk store (per-shard
+    lockfiles instead of one directory-wide lock, so concurrent servers
+    sharing a cache dir stop contending)."""
+
+    max_batch_items: int = 1024
+    """Upper bound on ``solve_many`` manifest size (one request line
+    must also fit ``max_request_bytes``)."""
+
     queue_limit: int = 64
     """Bounded priority-queue depth; a request arriving when the queue
     is full is rejected with 429, never buffered without bound."""
@@ -191,12 +212,30 @@ class ServerMetrics:
     """Requests that waited on an identical in-flight leader instead of
     sweeping themselves."""
 
+    coalesced_failures: int = 0
+    """Coalesced followers whose leader terminated without a cacheable
+    result (budget abort, internal error) and that therefore inherited
+    the leader's terminal status instead of re-running the sweep — the
+    thundering herd the single-flight path would otherwise unleash
+    exactly when the server is under pressure."""
+
     kernel_sweeps: int = 0
-    """Solves that actually ran the kernel (``from_cache`` false) — with
-    N duplicate requests this advances once, which is the single-flight
-    acceptance check."""
+    """Sweep attempts: solves that actually entered the kernel
+    (``from_cache`` false), including ones a budget aborted mid-flight —
+    with N duplicate requests this advances once, which is the
+    single-flight acceptance check."""
 
     cache_hit_solves: int = 0
+
+    batches: int = 0
+    """``solve_many`` requests admitted."""
+
+    batch_items: int = 0
+    """Items across all admitted ``solve_many`` manifests."""
+
+    batch_deduped: int = 0
+    """Batch items that shared a canonical fingerprint with an earlier
+    item in the same manifest and were resolved without queueing."""
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -207,8 +246,12 @@ class ServerMetrics:
             "rejected_draining": self.rejected_draining,
             "bad_requests": self.bad_requests,
             "coalesced": self.coalesced,
+            "coalesced_failures": self.coalesced_failures,
             "kernel_sweeps": self.kernel_sweeps,
             "cache_hit_solves": self.cache_hit_solves,
+            "batches": self.batches,
+            "batch_items": self.batch_items,
+            "batch_deduped": self.batch_deduped,
         }
 
 
@@ -224,12 +267,21 @@ class _Connection:
 
 @dataclass(order=True)
 class _QueuedRequest:
-    """One admitted solve request, ordered for the priority queue."""
+    """One admitted solve request, ordered for the priority queue.
+
+    Plain ``solve`` requests carry their raw ``payload`` (parsed in the
+    pool when a worker picks them up) and answer on ``conn``.  Batch
+    sub-items arrive already ``prepared`` and deliver into ``sink`` — an
+    ``asyncio.Future`` the owning ``solve_many`` task awaits — instead
+    of writing to the connection themselves.
+    """
 
     priority: int
     seq: int
     payload: Dict[str, Any] = field(compare=False)
     conn: _Connection = field(compare=False)
+    prepared: Optional["_Prepared"] = field(compare=False, default=None)
+    sink: Optional[asyncio.Future] = field(compare=False, default=None)
 
 
 @dataclass
@@ -242,6 +294,22 @@ class _Prepared:
     timeout: Optional[float]
     fingerprint: Optional[str]
     solve_kwargs: Dict[str, Any] = field(default_factory=dict)
+    fallback: Optional[Tuple[str, ...]] = None
+    """Parsed ``fallback`` ladder (``fs`` only): run through
+    ``optimize_with_fallback`` so a budget abort degrades to the next
+    rung instead of failing the item."""
+
+    budget: Optional[Budget] = None
+    """Pre-made subbudget (batch items share one); ``None`` means
+    ``_execute`` derives a fresh per-request subbudget."""
+
+    @property
+    def dedup_key(self) -> Optional[str]:
+        """Single-flight / batch-dedup identity.  Ladder'd items are not
+        coalesced: their governed degradation path makes 'the same
+        function' not 'the same outcome', so propagating a leader's
+        terminal status across them would be wrong."""
+        return self.fingerprint if self.fallback is None else None
 
 
 def _parse_values(spec: Any, n: Optional[int]) -> TruthTable:
@@ -310,6 +378,7 @@ class OrderingServer:
             maxsize=self.config.cache_size,
             directory=self.config.cache_dir,
             max_disk_entries=self.config.max_disk_entries,
+            shards=self.config.cache_shards,
         )
         cap = self.config.max_frontier_mb
         self.parent_budget = Budget(
@@ -328,6 +397,7 @@ class OrderingServer:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._queue: "asyncio.PriorityQueue[_QueuedRequest]" = None  # type: ignore[assignment]
         self._workers: List[asyncio.Task] = []
+        self._batch_tasks: "set[asyncio.Task]" = set()
         self._inflight_by_fp: Dict[str, asyncio.Future] = {}
         self._in_flight = 0
         self._seq = 0
@@ -428,6 +498,12 @@ class OrderingServer:
         self._draining = True
         assert self._server is not None
         self._server.close()
+        # Batch tasks feed the queue; let admitted manifests finish
+        # enqueueing (and answering) before the queue is considered done.
+        while self._batch_tasks:
+            await asyncio.gather(
+                *list(self._batch_tasks), return_exceptions=True
+            )
         await self._queue.join()
         for worker in self._workers:
             worker.cancel()
@@ -541,13 +617,13 @@ class OrderingServer:
                 "metrics": self.metrics_snapshot(),
             })
             return
-        if op != "solve":
+        if op not in ("solve", "solve_many"):
             self.metrics.bad_requests += 1
             await self._respond(conn, {
                 "id": request_id, "ok": False, "status": 400,
                 "error": {"type": "ProtocolError",
                           "message": f"unknown op {op!r}; expected "
-                                     "solve/metrics/ping"},
+                                     "solve/solve_many/metrics/ping"},
             })
             return
         if self._draining:
@@ -559,9 +635,61 @@ class OrderingServer:
                                      "elsewhere"},
             })
             return
+        # A malformed priority must answer 400, not kill the connection
+        # handler (bools are ints in Python; exclude them explicitly).
+        raw_priority = payload.get("priority", 0)
+        try:
+            if isinstance(raw_priority, bool):
+                raise TypeError
+            priority = int(raw_priority)
+        except (TypeError, ValueError):
+            self.metrics.bad_requests += 1
+            await self._respond(conn, {
+                "id": request_id, "ok": False, "status": 400,
+                "error": {"type": "ProtocolError",
+                          "message": f"'priority' must be an integer "
+                                     f"(lower runs first), got "
+                                     f"{raw_priority!r}"},
+            })
+            return
+        if op == "solve_many":
+            items = payload.get("items")
+            if not isinstance(items, list) or not items:
+                self.metrics.bad_requests += 1
+                await self._respond(conn, {
+                    "id": request_id, "ok": False, "status": 400,
+                    "error": {"type": "ProtocolError",
+                              "message": "op 'solve_many' needs 'items': "
+                                         "a non-empty list of solve "
+                                         "specs"},
+                })
+                return
+            if len(items) > self.config.max_batch_items:
+                self.metrics.bad_requests += 1
+                await self._respond(conn, {
+                    "id": request_id, "ok": False, "status": 400,
+                    "error": {"type": "ProtocolError",
+                              "message": f"'items' has {len(items)} "
+                                         f"entries; the server caps "
+                                         f"manifests at "
+                                         f"{self.config.max_batch_items}"},
+                })
+                return
+            self.metrics.received += len(items)
+            self.metrics.batches += 1
+            self.metrics.batch_items += len(items)
+            # Batches run on their own task: sub-items fan through the
+            # worker queue, so a worker must never *be* the batch (it
+            # would deadlock waiting for queue slots it occupies).
+            task = asyncio.ensure_future(
+                self._process_batch(payload, conn, priority)
+            )
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+            return
         self._seq += 1
         item = _QueuedRequest(
-            priority=int(payload.get("priority", 0)),
+            priority=priority,
             seq=self._seq,
             payload=payload,
             conn=conn,
@@ -595,55 +723,300 @@ class OrderingServer:
                 self._in_flight -= 1
                 self._queue.task_done()
 
+    async def _deliver(
+        self,
+        item: _QueuedRequest,
+        body: Dict[str, Any],
+        *,
+        coalesced: bool = False,
+    ) -> None:
+        """Hand a finished body to its consumer: the batch's sink future
+        when the item is a ``solve_many`` sub-item, the wire otherwise."""
+        if item.sink is not None:
+            if not item.sink.done():
+                item.sink.set_result({"body": body, "coalesced": coalesced})
+            return
+        body = dict(body)
+        body["id"] = item.payload.get("id")
+        await self._respond(item.conn, body)
+
     async def _process(self, item: _QueuedRequest) -> None:
-        request_id = item.payload.get("id")
         loop = asyncio.get_running_loop()
-        try:
-            prepared = await loop.run_in_executor(
-                self._pool, self._prepare, item.payload
-            )
-        except ReproError as exc:
-            self.metrics.bad_requests += 1
-            await self._respond(item.conn, {
-                "id": request_id, "ok": False, "status": 400,
-                "error": {"type": type(exc).__name__, "message": str(exc)},
-            })
-            return
-        except Exception as exc:  # noqa: BLE001 - reported, never fatal
-            self.metrics.failed += 1
-            await self._respond(item.conn, {
-                "id": request_id, "ok": False, "status": 500,
-                "error": {"type": type(exc).__name__, "message": str(exc)},
-            })
-            return
+        prepared = item.prepared
+        if prepared is None:
+            try:
+                prepared = await loop.run_in_executor(
+                    self._pool, self._prepare, item.payload
+                )
+            except ReproError as exc:
+                self.metrics.bad_requests += 1
+                await self._deliver(item, {
+                    "ok": False, "status": 400,
+                    "error": {"type": type(exc).__name__,
+                              "message": str(exc)},
+                })
+                return
+            except Exception as exc:  # noqa: BLE001 - reported, never fatal
+                self.metrics.failed += 1
+                await self._deliver(item, {
+                    "ok": False, "status": 500,
+                    "error": {"type": type(exc).__name__,
+                              "message": str(exc)},
+                })
+                return
 
         # Single-flight: if an identical problem is already sweeping,
         # wait for its leader and then resolve through the shared cache.
+        dedup_key = prepared.dedup_key
         leader = (
-            self._inflight_by_fp.get(prepared.fingerprint)
-            if prepared.fingerprint is not None else None
+            self._inflight_by_fp.get(dedup_key)
+            if dedup_key is not None else None
         )
         follower_future: Optional[asyncio.Future] = None
+        coalesced = False
+        body: Optional[Dict[str, Any]] = None
         if leader is not None:
             self.metrics.coalesced += 1
-            await asyncio.shield(leader)
-        elif prepared.fingerprint is not None:
+            coalesced = True
+            leader_body = await asyncio.shield(leader)
+            if leader_body is not None and not leader_body.get("ok"):
+                # The leader's sweep terminated without writing a cache
+                # entry (budget abort, internal error) — re-running the
+                # identical problem once per follower is a thundering
+                # herd exactly when the server is under pressure.
+                # Inherit the leader's terminal status instead.
+                self.metrics.coalesced_failures += 1
+                body = dict(leader_body)
+        elif dedup_key is not None:
             follower_future = loop.create_future()
-            self._inflight_by_fp[prepared.fingerprint] = follower_future
-        try:
-            body = await loop.run_in_executor(
-                self._pool, self._execute, prepared
-            )
-        finally:
-            if follower_future is not None:
-                del self._inflight_by_fp[prepared.fingerprint]
-                follower_future.set_result(None)
+            self._inflight_by_fp[dedup_key] = follower_future
+        if body is None:
+            executed: Optional[Dict[str, Any]] = None
+            try:
+                executed = await loop.run_in_executor(
+                    self._pool, self._execute, prepared
+                )
+            finally:
+                if follower_future is not None:
+                    del self._inflight_by_fp[dedup_key]
+                    follower_future.set_result(executed)
+            body = executed
         if body.get("ok"):
             self.metrics.completed += 1
         else:
             self.metrics.failed += 1
-        body["id"] = request_id
-        await self._respond(item.conn, body)
+        await self._deliver(item, body, coalesced=coalesced)
+
+    @staticmethod
+    def _classify(
+        body: Dict[str, Any], prepared: _Prepared, coalesced: bool
+    ) -> str:
+        """Per-item ``solve_many`` status for one finished body."""
+        if not body.get("ok"):
+            return "error"
+        if coalesced:
+            return "coalesced"
+        result = body.get("result", {})
+        if result.get("from_cache"):
+            return "cached"
+        rung = result.get("rung")
+        if (
+            rung is not None
+            and prepared.fallback
+            and rung != prepared.fallback[0]
+        ):
+            return "fallback"
+        return "ok"
+
+    async def _process_batch(
+        self, payload: Dict[str, Any], conn: _Connection, priority: int
+    ) -> None:
+        """One ``solve_many`` manifest.
+
+        Parse + fingerprint every item off-loop, dedup by canonical
+        fingerprint *before* queueing (the ``optimize_many`` economics,
+        over the wire), fan the representatives through the priority
+        queue under ONE shared subbudget, resolve in-batch duplicates
+        through the shared cache, and stream a single response whose
+        per-item bodies are built by the same code path as individual
+        ``solve`` responses (bit-identical by construction).
+        """
+        request_id = payload.get("id")
+        loop = asyncio.get_running_loop()
+        items = payload["items"]
+        started = time.perf_counter()
+        try:
+            try:
+                timeout = payload.get("timeout")
+                if timeout is not None:
+                    timeout = float(timeout)
+                    if timeout <= 0:
+                        raise ReproError(
+                            f"timeout must be > 0, got {timeout}"
+                        )
+            except (TypeError, ValueError):
+                raise ReproError(
+                    f"'timeout' must be a number of seconds, got "
+                    f"{payload.get('timeout')!r}"
+                ) from None
+        except ReproError as exc:
+            self.metrics.bad_requests += 1
+            await self._respond(conn, {
+                "id": request_id, "ok": False, "status": 400,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            })
+            return
+        default = self.config.default_timeout
+        if default is not None:
+            timeout = default if timeout is None else min(timeout, default)
+        try:
+            # ONE budget for the whole manifest: items race each other
+            # for the same wall clock, exactly like ``optimize_many``.
+            shared_budget = self.parent_budget.subbudget(timeout)
+            inherited = {
+                key: payload[key]
+                for key in ("method", "rule", "fallback")
+                if key in payload
+            }
+            bodies: List[Optional[Dict[str, Any]]] = [None] * len(items)
+            statuses: List[Optional[str]] = [None] * len(items)
+            prepared_list: List[Optional[_Prepared]] = [None] * len(items)
+            for i, spec in enumerate(items):
+                if not isinstance(spec, dict):
+                    error_msg = "each 'items' entry must be a JSON object"
+                elif "timeout" in spec:
+                    error_msg = (
+                        "batch items share the batch-level budget; give "
+                        "'timeout' at the top level of the solve_many "
+                        "request"
+                    )
+                else:
+                    error_msg = None
+                if error_msg is not None:
+                    self.metrics.bad_requests += 1
+                    bodies[i] = {
+                        "ok": False, "status": 400,
+                        "error": {"type": "ProtocolError",
+                                  "message": error_msg},
+                    }
+                    statuses[i] = "error"
+                    continue
+                merged = {**inherited, **spec}
+                try:
+                    prepared = await loop.run_in_executor(
+                        self._pool, self._prepare, merged
+                    )
+                except ReproError as exc:
+                    self.metrics.bad_requests += 1
+                    bodies[i] = {
+                        "ok": False, "status": 400,
+                        "error": {"type": type(exc).__name__,
+                                  "message": str(exc)},
+                    }
+                    statuses[i] = "error"
+                except Exception as exc:  # noqa: BLE001
+                    self.metrics.failed += 1
+                    bodies[i] = {
+                        "ok": False, "status": 500,
+                        "error": {"type": type(exc).__name__,
+                                  "message": str(exc)},
+                    }
+                    statuses[i] = "error"
+                else:
+                    prepared.budget = shared_budget
+                    prepared_list[i] = prepared
+
+            # Fingerprint-first dedup BEFORE queueing: the first
+            # occurrence of each canonical fingerprint is the
+            # representative; later ones never enter the queue.
+            rep_of: Dict[str, int] = {}
+            reps: List[int] = []
+            duplicates: List[Tuple[int, int]] = []
+            for i, prepared in enumerate(prepared_list):
+                if prepared is None:
+                    continue
+                key = prepared.dedup_key
+                if key is not None and key in rep_of:
+                    duplicates.append((i, rep_of[key]))
+                    continue
+                if key is not None:
+                    rep_of[key] = i
+                reps.append(i)
+            self.metrics.batch_deduped += len(duplicates)
+
+            # Enqueue every representative, then await their sinks.  A
+            # blocking put is deliberate backpressure against the
+            # bounded queue — a manifest is one admitted request, not
+            # len(items) chances to be 429'd halfway through.
+            sinks: Dict[int, asyncio.Future] = {}
+            for i in reps:
+                sink = loop.create_future()
+                sinks[i] = sink
+                self._seq += 1
+                await self._queue.put(_QueuedRequest(
+                    priority=priority, seq=self._seq, payload={},
+                    conn=conn, prepared=prepared_list[i], sink=sink,
+                ))
+            for i in reps:
+                outcome = await sinks[i]
+                bodies[i] = outcome["body"]
+                statuses[i] = self._classify(
+                    outcome["body"], prepared_list[i], outcome["coalesced"]
+                )
+
+            # In-batch duplicates resolve through the shared cache (the
+            # representative's success wrote the entry — N answers, one
+            # sweep); a failed representative's terminal status
+            # propagates instead of re-running the identical sweep.
+            for i, rep in duplicates:
+                rep_body = bodies[rep]
+                if rep_body is not None and rep_body.get("ok"):
+                    body = await loop.run_in_executor(
+                        self._pool, self._execute, prepared_list[i]
+                    )
+                    bodies[i] = body
+                    if body.get("ok"):
+                        self.metrics.completed += 1
+                        statuses[i] = (
+                            "cached"
+                            if body.get("result", {}).get("from_cache")
+                            else self._classify(body, prepared_list[i],
+                                                False)
+                        )
+                    else:
+                        self.metrics.failed += 1
+                        statuses[i] = "error"
+                else:
+                    self.metrics.failed += 1
+                    bodies[i] = dict(rep_body or {
+                        "ok": False, "status": 500,
+                        "error": {"type": "InternalError",
+                                  "message": "representative item "
+                                             "produced no body"},
+                    })
+                    statuses[i] = "error"
+        except Exception as exc:  # noqa: BLE001 - the client must hear back
+            self.metrics.failed += 1
+            await self._respond(conn, {
+                "id": request_id, "ok": False, "status": 500,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            })
+            return
+        elapsed = time.perf_counter() - started
+        summary = {
+            "items": len(items),
+            "unique": len(reps),
+            "deduped": len(duplicates),
+            "elapsed_seconds": round(elapsed, 6),
+        }
+        for status in ("ok", "cached", "coalesced", "fallback", "error"):
+            summary[status] = statuses.count(status)
+        await self._respond(conn, {
+            "id": request_id, "ok": True, "status": 200,
+            "results": bodies,
+            "statuses": statuses,
+            "summary": summary,
+        })
 
     def _prepare(self, payload: Dict[str, Any]) -> _Prepared:
         """Parse + fingerprint one solve request (runs in the pool)."""
@@ -686,6 +1059,19 @@ class OrderingServer:
                 solve_kwargs["initial_order"] = tuple(
                     int(v) for v in payload["initial_order"]
                 )
+        fallback = payload.get("fallback")
+        if fallback is not None:
+            if method != "fs":
+                raise ReproError(
+                    "'fallback' (a degradation ladder) is only supported "
+                    "for method 'fs'"
+                )
+            from .core.budget import parse_ladder
+
+            try:
+                fallback = parse_ladder(fallback)
+            except (ReproError, ValueError, TypeError) as exc:
+                raise ReproError(f"bad 'fallback' ladder: {exc}") from None
         timeout = payload.get("timeout")
         if timeout is not None:
             timeout = float(timeout)
@@ -704,28 +1090,61 @@ class OrderingServer:
             timeout=timeout,
             fingerprint=fingerprint,
             solve_kwargs=solve_kwargs,
+            fallback=fallback,
         )
 
     def _execute(self, prepared: _Prepared) -> Dict[str, Any]:
         """Run one governed solve (in the pool); returns the response body."""
         config = self.config
-        sub = self.parent_budget.subbudget(prepared.timeout)
+        sub = (
+            prepared.budget
+            if prepared.budget is not None
+            else self.parent_budget.subbudget(prepared.timeout)
+        )
         started = time.perf_counter()
+        rung: Optional[str] = None
         try:
-            solution = solve(
-                prepared.problem,
-                method=prepared.method,
-                rule=prepared.rule,
-                engine=config.engine,
-                jobs=config.jobs,
-                backend=self._backend,
-                frontier_store=config.frontier_store,
-                cache=self.cache,
-                budget=sub,
-                **prepared.solve_kwargs,
-            )
+            if prepared.fallback is not None:
+                from .core.budget import optimize_with_fallback
+
+                outcome = optimize_with_fallback(
+                    prepared.problem,
+                    budget=sub,
+                    ladder=prepared.fallback,
+                    rule=prepared.rule,
+                    engine=config.engine,
+                    jobs=config.jobs,
+                    backend=self._backend,
+                    cache=self.cache,
+                    frontier_store=config.frontier_store,
+                )
+                rung = outcome.rung
+                solution = OrderingSolution(
+                    method=prepared.method, n=outcome.n, rule=prepared.rule,
+                    order=tuple(outcome.order), mincost=outcome.mincost,
+                    exact=outcome.exact, counters=outcome.counters,
+                    num_terminals=outcome.num_terminals, result=outcome,
+                )
+            else:
+                solution = solve(
+                    prepared.problem,
+                    method=prepared.method,
+                    rule=prepared.rule,
+                    engine=config.engine,
+                    jobs=config.jobs,
+                    backend=self._backend,
+                    frontier_store=config.frontier_store,
+                    cache=self.cache,
+                    budget=sub,
+                    **prepared.solve_kwargs,
+                )
         except BudgetExceeded as exc:
             status = 503 if exc.reason == "cancelled" else 504
+            with self._totals_lock:
+                # The kernel did enter this sweep before the budget
+                # aborted it — count the attempt so a thundering herd of
+                # retried duplicates stays visible in metrics.
+                self.metrics.kernel_sweeps += 1
             return {
                 "ok": False, "status": status,
                 "error": {"type": "BudgetExceeded", "message": str(exc),
@@ -748,22 +1167,11 @@ class OrderingServer:
                 self.metrics.cache_hit_solves += 1
             else:
                 self.metrics.kernel_sweeps += 1
-        return {
-            "ok": True, "status": 200,
-            "result": {
-                "method": solution.method,
-                "rule": prepared.rule.value,
-                "n": solution.n,
-                "order": list(solution.order),
-                "mincost": solution.mincost,
-                "size": solution.size,
-                "num_terminals": solution.num_terminals,
-                "exact": solution.exact,
-                "from_cache": solution.from_cache,
-                "elapsed_seconds": round(elapsed, 6),
-                "counters": solution.counters.snapshot(),
-            },
-        }
+        result = solution.to_wire()
+        result["elapsed_seconds"] = round(elapsed, 6)
+        if rung is not None:
+            result["rung"] = rung
+        return {"ok": True, "status": 200, "result": result}
 
     # -- observability -------------------------------------------------
 
@@ -793,6 +1201,8 @@ class OrderingServer:
                 "max_inflight": self.config.max_inflight,
                 "default_timeout": self.config.default_timeout,
                 "cache_dir": self.config.cache_dir,
+                "cache_shards": self.config.cache_shards,
+                "max_batch_items": self.config.max_batch_items,
             },
         }
 
@@ -883,9 +1293,14 @@ class ServeClient:
         self._sock = sock
         self._file = sock.makefile("rwb")
         self._next_id = 0
+        self._pending: Dict[Any, Dict[str, Any]] = {}
 
-    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request object, block for its response line."""
+    def submit(self, payload: Dict[str, Any]) -> Any:
+        """Send one request object without waiting; returns its ``id``.
+
+        Pair with :meth:`collect` to pipeline several requests on one
+        connection.
+        """
         if "id" not in payload:
             self._next_id += 1
             payload = {**payload, "id": self._next_id}
@@ -893,10 +1308,33 @@ class ServeClient:
             json.dumps(payload, separators=(",", ":")).encode() + b"\n"
         )
         self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ServeError("server closed the connection", status=503)
-        return json.loads(line)
+        return payload["id"]
+
+    def collect(self, request_id: Any) -> Dict[str, Any]:
+        """Block until the response whose ``id`` matches arrives.
+
+        The server may answer pipelined requests out of submission order
+        (the priority queue reorders them), so lines read off the socket
+        that belong to *other* requests are buffered by id and returned
+        by their own ``collect`` calls — never handed to the wrong
+        caller.
+        """
+        if request_id in self._pending:
+            return self._pending.pop(request_id)
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ServeError("server closed the connection", status=503)
+            response = json.loads(line)
+            response_id = response.get("id")
+            if response_id == request_id:
+                return response
+            self._pending[response_id] = response
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, block for *its* response (matched by
+        ``id``, not merely the next line off the socket)."""
+        return self.collect(self.submit(payload))
 
     def _checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         response = self.request(payload)
@@ -914,6 +1352,18 @@ class ServeClient:
         the wire fields (``expr=``/``values=``/``method=``/...)."""
         response = self._checked({**payload, "op": "solve"})
         return response["result"]
+
+    def solve_many(
+        self, items: Sequence[Dict[str, Any]], **payload: Any
+    ) -> Dict[str, Any]:
+        """``solve_many`` op; returns the full batch response —
+        ``results`` (per-item bodies, each shaped like a single ``solve``
+        response), ``statuses`` and ``summary``.  Keyword args are
+        batch-level wire fields (``method=``/``rule=``/``timeout=``/
+        ``fallback=``/``priority=``)."""
+        return self._checked(
+            {**payload, "op": "solve_many", "items": list(items)}
+        )
 
     def metrics(self) -> Dict[str, Any]:
         return self._checked({"op": "metrics"})["metrics"]

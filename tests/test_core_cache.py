@@ -45,6 +45,15 @@ def random_table(rnd, n, num_values=2):
     return TruthTable(n, [rnd.randrange(num_values) for _ in range(1 << n)])
 
 
+def entry_files(directory):
+    """Every entry file under a cache directory, across both layouts:
+    sharded (``<dir>/<shard>/cache_*.json``) and flat (PR-7 era)."""
+    return sorted(
+        list(directory.glob("*/cache_*.json"))
+        + list(directory.glob("cache_*.json"))
+    )
+
+
 class TestFingerprints:
     def test_permutation_invariant(self):
         rnd = random.Random(0)
@@ -311,7 +320,7 @@ class TestDiskStore:
         cache = ResultCache(directory=str(tmp_path))
         tt = TruthTable.random(3, seed=20)
         run_fs(tt, cache=cache)
-        (path,) = tmp_path.glob("cache_*.json")
+        (path,) = entry_files(tmp_path)
         document = json.loads(path.read_text())
         assert set(document) == {"format", "checksum", "payload"}
         assert document["payload"]["entry"]["kind"] == "ordering"
@@ -320,7 +329,7 @@ class TestDiskStore:
         cache = ResultCache(directory=str(tmp_path))
         tt = TruthTable.random(3, seed=21)
         run_fs(tt, cache=cache)
-        (path,) = tmp_path.glob("cache_*.json")
+        (path,) = entry_files(tmp_path)
         document = json.loads(path.read_text())
         document["payload"]["entry"]["mincost"] += 1
         path.write_text(json.dumps(document))
@@ -331,19 +340,24 @@ class TestDiskStore:
         cache = ResultCache(directory=str(tmp_path))
         tt = TruthTable.random(3, seed=22)
         run_fs(tt, cache=cache)
-        (path,) = tmp_path.glob("cache_*.json")
+        (path,) = entry_files(tmp_path)
         path.write_text(path.read_text()[:40])
         with pytest.raises(CacheError, match="JSON"):
             run_fs(tt, cache=ResultCache(directory=str(tmp_path)))
 
     def test_wrong_fingerprint_raises_cache_error(self, tmp_path):
+        import os
+        import pathlib
+
         cache = ResultCache(directory=str(tmp_path))
         tt = TruthTable.random(3, seed=23)
         run_fs(tt, cache=cache)
-        paths = list(tmp_path.glob("cache_*.json"))
+        (path,) = entry_files(tmp_path)
         key = table_key([tt], ReductionRule.BDD)
-        other = tmp_path / f"cache_{'0' * 64}.json"
-        paths[0].rename(other)
+        # Plant the entry at the sharded path of an impostor fingerprint.
+        other = pathlib.Path(cache.entry_path("0" * 64))
+        other.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(path, other)
         # Force a lookup of the impostor fingerprint via a fresh cache.
         fresh = ResultCache(directory=str(tmp_path))
         assert fresh.lookup(key.fingerprint) is None  # original is gone
@@ -481,14 +495,11 @@ class TestCrossProcessDisk:
             # mtime granularity: make "oldest" unambiguous.
             os.utime(cache.entry_path(key.fingerprint))
             time.sleep(0.01)
-        on_disk = sorted(
-            name for name in os.listdir(str(tmp_path))
-            if name.startswith("cache_")
-        )
+        on_disk = {path.name for path in entry_files(tmp_path)}
         assert len(on_disk) == 3
         # The three newest survive.
         survivors = {f"cache_{fp}.json" for fp in keys[-3:]}
-        assert set(on_disk) == survivors
+        assert on_disk == survivors
         assert cache.stats.evictions >= 3
 
     def test_vanished_entry_is_a_miss_not_an_error(self, tmp_path):
@@ -552,14 +563,170 @@ class TestCrossProcessDisk:
             out, err = proc.communicate(timeout=120)
             assert proc.returncode == 0, err.decode()
             assert out.decode().strip() == "ok"
-        survivors = [
-            name for name in os.listdir(str(tmp_path))
-            if name.startswith("cache_")
-        ]
+        survivors = entry_files(tmp_path)
         assert 1 <= len(survivors) <= 5
         # Whatever survived the melee is readable and intact.
         fresh = ResultCache(directory=str(tmp_path))
-        for name in survivors:
-            fingerprint = name[len("cache_"):-len(".json")]
+        for path in survivors:
+            fingerprint = path.name[len("cache_"):-len(".json")]
             payload = fresh.lookup(fingerprint)
             assert payload is not None and "seed" in payload
+
+
+class TestSharding:
+    """Fingerprint-prefix disk sharding: layout, the flat-layout (PR-7
+    era) compatibility path, and the no-cross-shard-contention claim."""
+
+    def test_entries_land_in_fingerprint_prefix_shard(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path), shards=16)
+        fp_a = "00" + "a" * 62
+        fp_b = "1f" + "b" * 62   # 0x1f % 16 == 0x0f
+        cache.store(fp_a, {"x": 1})
+        cache.store(fp_b, {"x": 2})
+        assert (tmp_path / "00" / f"cache_{fp_a}.json").exists()
+        assert (tmp_path / "0f" / f"cache_{fp_b}.json").exists()
+        # Each written shard has its own lockfile; the root has none.
+        assert (tmp_path / "00" / ".cache.lock").exists()
+        assert (tmp_path / "0f" / ".cache.lock").exists()
+        assert not (tmp_path / ".cache.lock").exists()
+
+    def test_shard_count_validated(self):
+        with pytest.raises(ValueError, match="shards"):
+            ResultCache(shards=0)
+        with pytest.raises(ValueError, match="shards"):
+            ResultCache(shards=257)
+
+    def test_flat_layout_served_before_any_migration(self, tmp_path):
+        """A PR-7-era directory (flat cache_*.json) serves hits through
+        a sharded cache with zero writes — reads never reorganize."""
+        flat_writer = ResultCache(directory=str(tmp_path), shards=1)
+        tt = TruthTable.random(4, seed=40)
+        key = table_key([tt], ReductionRule.BDD)
+        flat_writer.store(key.fingerprint, {"seed": 40})
+        # Recreate the historical flat layout byte-for-byte.
+        import os
+
+        for path in entry_files(tmp_path):
+            os.replace(path, tmp_path / path.name)
+        for shard_dir in [p for p in tmp_path.iterdir() if p.is_dir()]:
+            for leftover in shard_dir.iterdir():
+                leftover.unlink()
+            shard_dir.rmdir()
+        assert list(tmp_path.glob("cache_*.json"))
+
+        reader = ResultCache(directory=str(tmp_path), shards=16)
+        assert reader.lookup(key.fingerprint) == {"seed": 40}
+        assert reader.stats.disk_hits == 1
+        # Pure reads leave the flat layout untouched.
+        assert list(tmp_path.glob("cache_*.json"))
+        assert not list(tmp_path.glob("*/cache_*.json"))
+
+    def test_flat_to_sharded_migration_round_trip(self, tmp_path):
+        """First write migrates a flat directory into shards; every
+        migrated entry is bit-identical and still readable."""
+        import os
+
+        tables = [TruthTable.random(4, seed=s) for s in range(50, 56)]
+        flat_writer = ResultCache(directory=str(tmp_path), shards=1)
+        fingerprints = []
+        for index, tt in enumerate(tables):
+            key = table_key([tt], ReductionRule.BDD)
+            fingerprints.append(key.fingerprint)
+            flat_writer.store(key.fingerprint, {"seed": index})
+        for path in entry_files(tmp_path):
+            os.replace(path, tmp_path / path.name)
+        before = {
+            path.name: path.read_bytes()
+            for path in tmp_path.glob("cache_*.json")
+        }
+        assert len(before) == len(tables)
+
+        sharded = ResultCache(directory=str(tmp_path), shards=16)
+        trigger = "ff" + "c" * 62
+        sharded.store(trigger, {"trigger": True})
+        # The flat layout is gone; every entry lives in its shard with
+        # its bytes unchanged.
+        assert not list(tmp_path.glob("cache_*.json"))
+        for fingerprint in fingerprints:
+            migrated = tmp_path / sharded.shard_name(fingerprint) \
+                / f"cache_{fingerprint}.json"
+            assert migrated.read_bytes() == before[migrated.name]
+        # And a fresh cache resolves all of them as disk hits.
+        fresh = ResultCache(directory=str(tmp_path), shards=16)
+        for index, fingerprint in enumerate(fingerprints):
+            assert fresh.lookup(fingerprint) == {"seed": index}
+
+    def test_filelock_wait_counter_counts_contention(self, tmp_path):
+        import threading
+        import time
+
+        from repro.core.cache import FileLock
+
+        waits = []
+        lock = FileLock(str(tmp_path / ".lock"), on_wait=waits.append)
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                release.wait(5)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        time.sleep(0.05)  # let the holder take the lock
+        release_timer = threading.Timer(0.1, release.set)
+        release_timer.start()
+        with lock:
+            pass
+        thread.join()
+        assert lock.contentions == 1
+        assert lock.wait_seconds > 0
+        assert len(waits) == 1 and waits[0] > 0
+
+    def test_two_servers_disjoint_shards_no_lock_contention(self, tmp_path):
+        """Two processes hammer one sharded directory — writes plus
+        evictions — landing in disjoint shards: the per-shard locks mean
+        neither ever waits (lock_waits == 0), and the global-accounting
+        eviction still holds the cap across both writers' shards."""
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent("""
+            import sys
+            from repro.core.cache import ResultCache
+
+            directory, base = sys.argv[1], int(sys.argv[2])
+            cache = ResultCache(directory=directory, shards=16,
+                                max_disk_entries=8)
+            for i in range(24):
+                # Shard = first byte % 16; each process cycles its own
+                # half of the shard space, so the two never collide.
+                prefix = base + (i % 8)
+                fingerprint = f"{prefix:02x}" + f"{i:02d}" * 31
+                cache.store(fingerprint, {"who": base, "i": i})
+                cache.lookup(fingerprint)
+            print(cache.stats.lock_waits)
+        """)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(tmp_path), str(base)],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            )
+            for base in (0, 8)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err.decode()
+            # Disjoint shards -> nobody ever waited on a lock.
+            assert out.decode().strip() == "0"
+        survivors = entry_files(tmp_path)
+        assert 1 <= len(survivors) <= 8
+        fresh = ResultCache(directory=str(tmp_path), shards=16)
+        for path in survivors:
+            fingerprint = path.name[len("cache_"):-len(".json")]
+            payload = fresh.lookup(fingerprint)
+            assert payload is not None and "who" in payload
