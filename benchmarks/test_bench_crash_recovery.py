@@ -1,0 +1,135 @@
+"""Crash-recovery cost: what a SIGKILLed worker actually costs a sweep.
+
+Three runs of the same FS solve on the process backend are compared: a
+clean run on a warm pool (the baseline the robustness machinery must not
+tax), a run whose worker is SIGKILLed mid-layer and healed by a pool
+rebuild, and the serial reference that pins bit-identity.  Measured: the
+wall-clock of each, the recovery overhead, and the healing gauges —
+recorded to ``BENCH_crash_recovery.json`` next to this file (the CI
+uploads it as an artifact).
+
+The headline claim is the *no-fault* row: on a healthy run the
+fault-tolerance path is pure bookkeeping — a ``[None] * chunks`` slot
+list and one retry-policy frame per layer — so its gauges must read
+exactly zero and its results must be bit-identical to the pre-robustness
+serial baseline.  That zero is asserted, not eyeballed: gauge-zero plus
+bit-identity is the honest form of "overhead unmeasurable", where a
+wall-clock delta on a busy CI box would be noise."""
+
+import json
+import pathlib
+import time
+
+from conftest import print_table
+
+from repro.core import ProcessBackend, run_fs
+from repro.core.checkpoint import FaultInjector
+from repro.truth_table import TruthTable
+
+HEALING_GAUGES = (
+    "pool_rebuilds",
+    "chunks_retried",
+    "tasks_shipped",
+    "bytes_shipped",
+)
+
+
+def _paper_counters(counters):
+    snap = counters.snapshot()
+    for extra in HEALING_GAUGES:
+        snap.pop(extra, None)
+    return snap
+
+
+def _timed_run(table, backend, fault_injector=None):
+    start = time.perf_counter()
+    result = run_fs(
+        table, jobs=4, backend=backend, fault_injector=fault_injector
+    )
+    return result, time.perf_counter() - start
+
+
+def test_crash_recovery_artifact():
+    table = TruthTable.random(6, seed=2026)
+    serial = run_fs(table, jobs=4, backend="serial")
+
+    backend = ProcessBackend(jobs=4, max_pool_rebuilds=2)
+    try:
+        # Warm the pool so neither measured run pays spawn cost.
+        _timed_run(table, backend)
+
+        clean, clean_seconds = _timed_run(table, backend)
+
+        injector = FaultInjector(
+            kill_worker_layer=3,
+            kill_worker_chunk=0,
+            kill_worker_phase="during",
+        )
+        faulted, faulted_seconds = _timed_run(
+            table, backend, fault_injector=injector
+        )
+    finally:
+        backend.close()
+
+    # Bit-identity: clean and crashed-and-healed runs both reproduce the
+    # serial result exactly, healing/transport gauges aside.
+    for run in (clean, faulted):
+        assert run.order == serial.order
+        assert run.mincost == serial.mincost
+        assert _paper_counters(run.counters) == _paper_counters(
+            serial.counters
+        )
+
+    clean_extras = dict(clean.counters.extra)
+    faulted_extras = dict(faulted.counters.extra)
+
+    # No-fault overhead: the self-healing path must cost a healthy run
+    # nothing it can be billed for — zero rebuilds, zero retried chunks.
+    assert clean_extras.get("pool_rebuilds", 0) == 0
+    assert clean_extras.get("chunks_retried", 0) == 0
+
+    # The faulted run really crashed and really healed.
+    assert injector.worker_kills_injected == 1
+    assert faulted_extras["pool_rebuilds"] == 1
+    assert faulted_extras["chunks_retried"] >= 1
+
+    recovery_overhead = faulted_seconds - clean_seconds
+    record = {
+        "n": table.n,
+        "jobs": 4,
+        "kill": {"layer": 3, "chunk": 0, "phase": "during"},
+        "clean_seconds": clean_seconds,
+        "faulted_seconds": faulted_seconds,
+        "recovery_overhead_seconds": recovery_overhead,
+        "clean_gauges": {
+            "pool_rebuilds": clean_extras.get("pool_rebuilds", 0),
+            "chunks_retried": clean_extras.get("chunks_retried", 0),
+        },
+        "faulted_gauges": {
+            "pool_rebuilds": faulted_extras["pool_rebuilds"],
+            "chunks_retried": faulted_extras["chunks_retried"],
+        },
+        "bit_identical_to_serial": True,
+    }
+    out_path = pathlib.Path(__file__).parent / "BENCH_crash_recovery.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_table(
+        "crash recovery (process backend, jobs=4)",
+        ["run", "seconds", "pool_rebuilds", "chunks_retried"],
+        [
+            ["clean", f"{clean_seconds:.3f}", 0, 0],
+            [
+                "worker SIGKILL",
+                f"{faulted_seconds:.3f}",
+                faulted_extras["pool_rebuilds"],
+                faulted_extras["chunks_retried"],
+            ],
+            [
+                "overhead",
+                f"{recovery_overhead:+.3f}",
+                "",
+                "",
+            ],
+        ],
+    )

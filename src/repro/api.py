@@ -48,6 +48,7 @@ _ENGINE_KWARGS: Dict[str, str] = {
     "cache": "cache",
     "budget": "budget",
     "io_retry": "io_retry",
+    "max_pool_rebuilds": "max_pool_rebuilds",
 }
 
 
@@ -184,7 +185,7 @@ def solve(
         Uniform execution knobs, identical across methods: ``engine``,
         ``jobs``, ``backend``, ``frontier``, ``frontier_store``,
         ``profiler``, ``checkpoint_dir``, ``resume``, ``fault_injector``,
-        ``cache``, ``budget``, ``io_retry``.
+        ``cache``, ``budget``, ``io_retry``, ``max_pool_rebuilds``.
 
     Returns
     -------

@@ -127,6 +127,9 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
     io_retry = _make_io_retry(args)
     if io_retry is not None:
         kwargs["io_retry"] = io_retry
+    max_pool_rebuilds = getattr(args, "max_pool_rebuilds", None)
+    if max_pool_rebuilds is not None:
+        kwargs["max_pool_rebuilds"] = max_pool_rebuilds
     return kwargs
 
 
@@ -708,6 +711,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retry transient checkpoint/cache disk-write "
                             "failures up to N times with exponential "
                             "backoff (default: fail on the first error)")
+        p.add_argument("--max-pool-rebuilds", type=nonnegative_int,
+                       default=None, metavar="N",
+                       help="with --backend process: rebuild a crashed "
+                            "worker pool (SIGKILLed/OOM-killed worker) up "
+                            "to N times per DP layer, re-running only the "
+                            "chunks whose results were lost — results and "
+                            "counters stay bit-identical to an uncrashed "
+                            "run (default: 2; 0 disables self-healing)")
 
     def add_profile_option(p: argparse.ArgumentParser) -> None:
         p.add_argument("--profile",
@@ -834,6 +845,15 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-frontier-mb", type=positive_float, default=None,
                      metavar="MB",
                      help="frontier byte cap applied to every request")
+    srv.add_argument("--max-pool-rebuilds", type=nonnegative_int,
+                     default=None, metavar="N",
+                     help="self-healing budget of the warm process "
+                          "backend: rebuild a crashed worker pool up to N "
+                          "times per DP layer before the request fails "
+                          "(default 2; 0 disables in-sweep healing — the "
+                          "daemon then swaps in a fresh backend and fails "
+                          "only the in-flight request with a retryable "
+                          "503 backend_restarting)")
     srv.set_defaults(handler=_run_serve)
 
     cert = sub.add_parser("certify",
@@ -868,6 +888,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         default_timeout=getattr(args, "timeout", None),
         max_frontier_mb=getattr(args, "max_frontier_mb", None),
+        max_pool_rebuilds=getattr(args, "max_pool_rebuilds", None),
     )
     return serve_main(config)
 

@@ -65,7 +65,7 @@ from typing import (
 
 from .._bitops import popcount, subsets_of_size
 from ..analysis.counters import OperationCounters
-from ..errors import BudgetExceeded, DimensionError
+from ..errors import BudgetExceeded, DimensionError, ExecutorBrokenError
 from ..observability import Profiler
 from .checkpoint import (
     CheckpointStore, FaultInjector, RetryPolicy, Skeleton, sweep_fingerprint,
@@ -212,9 +212,20 @@ class EngineConfig:
     :class:`~repro.errors.CheckpointError` if the newest one is damaged."""
 
     fault_injector: Optional[FaultInjector] = None
-    """Test hook: notified after each layer commits; may crash the sweep
-    or corrupt the just-written checkpoint (see
+    """Test hook: notified after each layer commits; may crash the sweep,
+    corrupt the just-written checkpoint, or — through the process
+    backend — SIGKILL the worker executing a chosen chunk (see
     :class:`repro.core.checkpoint.FaultInjector`)."""
+
+    max_pool_rebuilds: Optional[int] = None
+    """Self-healing budget of the process backend: how many times one
+    layer may rebuild a broken worker pool (re-creating the workers and
+    re-shipping the shared base table, retrying only unmerged chunks)
+    before the sweep raises
+    :class:`~repro.errors.ExecutorBrokenError`.  ``None`` keeps the
+    backend default (2); ``0`` disables healing.  Only consulted when
+    ``backend`` is a *name* — a caller-owned instance keeps whatever its
+    creator configured."""
 
     checkpoint_tag: str = ""
     """Extra entry-point state folded into the checkpoint fingerprint
@@ -406,7 +417,9 @@ def run_layered_sweep(
                 start_k = restored.layer + 1
                 last_checkpoint_path = restored.path
 
-    backend, engine_owns_backend = resolve_backend(config.backend)
+    backend, engine_owns_backend = resolve_backend(
+        config.backend, max_pool_rebuilds=config.max_pool_rebuilds
+    )
     backend.begin_sweep(
         SweepContext(
             base=base,
@@ -416,6 +429,7 @@ def run_layered_sweep(
             counters=counters,
             budget=budget,
             profiler=profiler,
+            fault_injector=config.fault_injector,
         )
     )
     try:
@@ -445,7 +459,16 @@ def run_layered_sweep(
             )
             started = time.perf_counter()
             chunks = split_chunks(layer_masks, config.jobs)
-            parts = backend.run_layer(k, chunks, previous, retain_full)
+            try:
+                parts = backend.run_layer(k, chunks, previous, retain_full)
+            except ExecutorBrokenError as exc:
+                # The backend knows its pool died; only the engine knows
+                # where the run can restart.  Layers below k are durably
+                # committed, so a resume from this path re-runs exactly
+                # the broken layer onward.
+                if exc.checkpoint_path is None:
+                    exc.checkpoint_path = last_checkpoint_path
+                raise
             if any(part.cancelled for part in parts):
                 # A process worker observed the mirrored cancellation
                 # event and stopped mid-layer.  Discard the partial layer

@@ -42,6 +42,23 @@ Workers ignore ``SIGINT``; route signals through
 :func:`repro.core.budget.handle_signals` on the coordinator and they
 reach the workers through the mirrored event.
 
+Fault tolerance: a worker SIGKILLed mid-layer (OOM killer, segfault)
+marks the whole :class:`~concurrent.futures.ProcessPoolExecutor` broken.
+The process backend heals in place — it tears the pool down, re-creates
+and re-ships the shared-memory base table under a fresh sweep token, and
+re-submits *only the chunks whose results were not yet merged*, with
+exponential backoff between rebuilds (a :class:`~repro.core.checkpoint.
+RetryPolicy` over ``BrokenExecutor``).  Chunk results merge in fixed
+chunk order regardless of which pool produced them, so a healed layer is
+bit-identical to an uncrashed one; the only trace is in the sanctioned
+gauges ``pool_rebuilds`` / ``chunks_retried`` (and extra transport
+volume for the re-shipped chunks, already excluded from parity like all
+``tasks_shipped``/``bytes_shipped`` accounting).  After
+``max_pool_rebuilds`` consecutive rebuilds of one layer the backend
+raises :class:`~repro.errors.ExecutorBrokenError`; the engine stamps it
+with the last committed checkpoint path so a retry resumes at the layer
+boundary.
+
 Cache lookups stay coordinator-only: workers never see a
 :class:`~repro.core.cache.ResultCache`, so disk stores are not written
 from multiple processes.
@@ -60,9 +77,11 @@ startup.
 from __future__ import annotations
 
 import abc
+import atexit
 import os
 import signal
 import threading
+from concurrent.futures import BrokenExecutor
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field, replace
 from typing import (
@@ -74,8 +93,8 @@ import numpy as np
 
 from .._bitops import bits_of
 from ..analysis.counters import OperationCounters
-from ..errors import OrderingError
-from .checkpoint import Skeleton
+from ..errors import ExecutorBrokenError, OrderingError
+from .checkpoint import RetryPolicy, Skeleton
 from .frontier import (
     BaseOverlay, PackedFrontier, PackedSlice, batch_sweep_chunk,
 )
@@ -84,6 +103,7 @@ from .spec import FSState, ReductionRule
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from ..observability import Profiler
     from .budget import Budget
+    from .checkpoint import FaultInjector
 
 KernelFn = Callable[..., FSState]
 Entry = Union[FSState, Skeleton]
@@ -285,6 +305,11 @@ class SweepContext:
     counters: OperationCounters
     budget: Optional["Budget"] = None
     profiler: Optional["Profiler"] = None
+    fault_injector: Optional["FaultInjector"] = None
+    """Deterministic fault injection (tests/CI): the process backend
+    consults :meth:`~repro.core.checkpoint.FaultInjector.take_worker_kill`
+    while building each chunk's task and flags the doomed envelope.
+    In-process backends ignore it — they have no worker to lose."""
 
 
 class ExecutorBackend(abc.ABC):
@@ -358,6 +383,14 @@ class ExecutorBackend(abc.ABC):
     def close(self) -> None:
         """Release everything, worker pools included."""
 
+    def healthy(self) -> bool:
+        """Liveness probe for supervisors (the serve daemon's ``health``
+        op): ``False`` when the backend's execution substrate is known
+        broken — a dead process pool — and the next sweep would have to
+        heal or fail.  In-process backends are always healthy, and so is
+        a backend whose pool has not been created yet."""
+        return True
+
     def __enter__(self) -> "ExecutorBackend":
         return self
 
@@ -420,24 +453,36 @@ def available_backends() -> List[str]:
     return sorted(_BACKENDS)
 
 
-def create_backend(name: str, jobs: Optional[int] = None) -> ExecutorBackend:
+def create_backend(
+    name: str,
+    jobs: Optional[int] = None,
+    max_pool_rebuilds: Optional[int] = None,
+) -> ExecutorBackend:
     """Instantiate a registered backend (``jobs`` caps its pool width;
-    defaults to each sweep's ``EngineConfig.jobs``)."""
-    return get_backend(name)(jobs=jobs)
+    defaults to each sweep's ``EngineConfig.jobs``).  ``max_pool_rebuilds``
+    caps the process backend's self-healing budget; it is forwarded only
+    when set, so registered backends that predate the knob keep working.
+    """
+    kwargs: Dict[str, Any] = {"jobs": jobs}
+    if max_pool_rebuilds is not None:
+        kwargs["max_pool_rebuilds"] = max_pool_rebuilds
+    return get_backend(name)(**kwargs)
 
 
 def resolve_backend(
     spec: Union[str, ExecutorBackend],
+    max_pool_rebuilds: Optional[int] = None,
 ) -> Tuple[ExecutorBackend, bool]:
     """``(backend, engine_owned)`` for an ``EngineConfig.backend`` value.
 
     A string creates a fresh engine-owned backend (closed after the
     sweep); an instance stays caller-owned (only ``begin_sweep`` /
-    ``end_sweep`` run), which is how one pool serves many sweeps.
+    ``end_sweep`` run), which is how one pool serves many sweeps — and
+    how it keeps whatever ``max_pool_rebuilds`` its creator configured.
     """
     if isinstance(spec, ExecutorBackend):
         return spec, False
-    return create_backend(spec), True
+    return create_backend(spec, max_pool_rebuilds=max_pool_rebuilds), True
 
 
 @contextmanager
@@ -448,14 +493,29 @@ def shared_backend(config: Any) -> Iterator[Any]:
     FS* solves, a fallback ladder) use this so a string backend spec
     costs one pool, not one pool per sweep.  Yields ``config`` itself
     when it is ``None`` or already carries an instance.
+
+    ``close()`` can itself fail when the pool died inside the block.
+    When the body is already unwinding an exception, a close-time
+    failure is swallowed so it can never mask the original error (the
+    broken pool is being discarded either way); a close failure on a
+    clean exit still propagates.
     """
     if config is None or isinstance(config.backend, ExecutorBackend):
         yield config
         return
-    backend = create_backend(config.backend)
+    backend = create_backend(
+        config.backend,
+        max_pool_rebuilds=getattr(config, "max_pool_rebuilds", None),
+    )
     try:
         yield replace(config, backend=backend)
-    finally:
+    except BaseException:
+        try:
+            backend.close()
+        except Exception:
+            pass
+        raise
+    else:
         backend.close()
 
 
@@ -469,9 +529,15 @@ class SerialBackend(ExecutorBackend):
 
     name = "serial"
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        max_pool_rebuilds: Optional[int] = None,
+    ) -> None:
         super().__init__()
-        self._jobs = jobs  # accepted for interface symmetry; unused
+        # Both accepted for interface symmetry; neither applies inline.
+        self._jobs = jobs
+        self._max_pool_rebuilds = max_pool_rebuilds
 
     def run_layer(
         self,
@@ -495,9 +561,16 @@ class ThreadBackend(ExecutorBackend):
 
     name = "thread"
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        max_pool_rebuilds: Optional[int] = None,
+    ) -> None:
         super().__init__()
         self._jobs = jobs
+        # Threads cannot be SIGKILLed out from under the pool; accepted
+        # for interface symmetry only.
+        self._max_pool_rebuilds = max_pool_rebuilds
         self._pool: Optional[Any] = None
 
     def run_layer(
@@ -579,6 +652,14 @@ class ChunkTask:
     payload_bytes: int = 0
     packed: Optional[PackedSlice] = None
 
+    kill_self: Optional[str] = None
+    """Injected process-level fault (tests/CI only): ``"before"`` makes
+    the executing worker SIGKILL itself as the task starts, ``"during"``
+    about halfway through the chunk's masks.  Set by the coordinator
+    from :class:`~repro.core.checkpoint.FaultInjector.take_worker_kill`,
+    which consumes the kill *before* shipping — the healed pool's
+    re-submission of the same chunk carries ``None``."""
+
 
 # Worker-process globals (populated by the pool initializer and the
 # first task of each sweep; one sweep's base is cached per worker).
@@ -657,8 +738,37 @@ def _worker_bind_sweep(task: ChunkTask) -> Tuple[str, Any, FSState, KernelFn, Re
     return _WORKER_SWEEP
 
 
+def _suicide_midway(
+    total: int, inner: Optional[Callable[[], bool]]
+) -> Callable[[], bool]:
+    """``should_stop`` wrapper realizing the ``"during"`` kill phase.
+
+    Both the scalar loop and the packed batch path poll ``should_stop``
+    once per mask, so counting polls places the SIGKILL about halfway
+    through the chunk's masks under either path — after real work has
+    been done and really lost, which is the point of the phase.  A
+    single-mask chunk has no halfway; there the kill fires on the first
+    poll (degenerating to ``"before"``) rather than silently not at
+    all."""
+    seen = 0
+    trigger = total // 2
+
+    def poll() -> bool:
+        nonlocal seen
+        seen += 1
+        if seen > trigger:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return inner() if inner is not None else False
+
+    return poll
+
+
 def _run_chunk_task(task: ChunkTask) -> ChunkResult:
     """Worker entry point: execute one shipped chunk."""
+    if task.kill_self == "before":
+        # SIGKILL, not an exception: uncatchable, no cleanup, exactly
+        # what the OOM killer delivers.  The pool goes BrokenProcessPool.
+        os.kill(os.getpid(), signal.SIGKILL)
     _, _, base, kernel, rule = _worker_bind_sweep(task)
     previous: PreviousLayer
     if task.packed is not None:
@@ -669,14 +779,50 @@ def _run_chunk_task(task: ChunkTask) -> ChunkResult:
         previous = dict(task.entries)
         previous[0] = base
     cancel = _WORKER_CANCEL
+    should_stop = cancel.is_set if cancel is not None else None
+    if task.kill_self == "during":
+        should_stop = _suicide_midway(len(task.masks), should_stop)
     out = sweep_chunk(
         task.masks, previous, base, kernel, rule, task.retain_full,
         OperationCounters(),
-        should_stop=cancel.is_set if cancel is not None else None,
+        should_stop=should_stop,
         kernel_name=task.kernel,
     )
     out.index = task.index
     return out
+
+
+# Coordinator-side ledger of live shared-memory segments.  end_sweep is
+# the normal unlink path (the engine reaches it through try/finally even
+# when run_layer raises), but a coordinator that dies *between* creating
+# the segment and that finally — or an embedder that never calls close()
+# — would leak a /dev/shm file until reboot.  The atexit hook sweeps up
+# whatever is still registered at interpreter shutdown.
+_LIVE_SEGMENTS: Dict[str, Any] = {}
+_LIVE_SEGMENTS_LOCK = threading.Lock()
+
+
+def _register_segment(shm: Any) -> None:
+    with _LIVE_SEGMENTS_LOCK:
+        _LIVE_SEGMENTS[shm.name] = shm
+
+
+def _forget_segment(shm: Any) -> None:
+    with _LIVE_SEGMENTS_LOCK:
+        _LIVE_SEGMENTS.pop(shm.name, None)
+
+
+@atexit.register
+def _unlink_leaked_segments() -> None:
+    with _LIVE_SEGMENTS_LOCK:
+        leaked = list(_LIVE_SEGMENTS.values())
+        _LIVE_SEGMENTS.clear()
+    for shm in leaked:
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - racing
+            pass
 
 
 @register_backend("process")
@@ -705,9 +851,26 @@ class ProcessBackend(ExecutorBackend):
 
     name = "process"
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    #: Default self-healing budget: two pool rebuilds per layer covers a
+    #: transient kill plus one recurrence before the run is declared
+    #: unrecoverable (``max_pool_rebuilds=0`` disables healing).
+    DEFAULT_MAX_POOL_REBUILDS = 2
+    #: First-rebuild backoff; doubles per rebuild (RetryPolicy semantics).
+    REBUILD_BASE_DELAY = 0.05
+    REBUILD_MAX_DELAY = 2.0
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        max_pool_rebuilds: Optional[int] = None,
+    ) -> None:
         super().__init__()
         self._jobs = jobs
+        self._max_pool_rebuilds = (
+            self.DEFAULT_MAX_POOL_REBUILDS
+            if max_pool_rebuilds is None
+            else max_pool_rebuilds
+        )
         self._pool: Optional[Any] = None
         self._cancel_event: Optional[Any] = None
         self._token_seq = 0
@@ -727,24 +890,32 @@ class ProcessBackend(ExecutorBackend):
                 self._cancel_event.clear()
 
     def end_sweep(self) -> None:
-        self._stop_watcher()
-        if self._shm is not None:
-            self._shm.close()
+        # Nested finally, not straight-line code: whatever the watcher
+        # join or the segment unlink throws, the shared memory must be
+        # released and the sweep mutex must come back — the crash paths
+        # are exactly where leaking either would hurt most.
+        try:
             try:
-                self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - double unlink
-                pass
-            self._shm = None
-        self._sweep_token = None
-        self._base_spec = None
-        super().end_sweep()
+                self._stop_watcher()
+            finally:
+                self._release_segment()
+        finally:
+            self._sweep_token = None
+            self._base_spec = None
+            super().end_sweep()
 
     def close(self) -> None:
-        self.end_sweep()
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        try:
+            self.end_sweep()
+        finally:
+            self._teardown_pool(wait=True)
             self._cancel_event = None
+
+    def healthy(self) -> bool:
+        pool = self._pool
+        if pool is None:
+            return True  # lazily created; nothing to be broken yet
+        return not bool(getattr(pool, "_broken", False))
 
     # -- execution -----------------------------------------------------
 
@@ -759,22 +930,97 @@ class ProcessBackend(ExecutorBackend):
             return self._run_inline(chunks, previous, retain_full)
         context = self._context
         assert context is not None
+        # Results slot in by chunk index; a pool death between attempts
+        # only ever refills the None slots, so the merged layer is the
+        # same fixed-chunk-order list an uncrashed run produces.
+        results: List[Optional[ChunkResult]] = [None] * len(chunks)
+        policy = RetryPolicy(
+            max_retries=self._max_pool_rebuilds,
+            base_delay=self.REBUILD_BASE_DELAY,
+            max_delay=self.REBUILD_MAX_DELAY,
+            retryable=(BrokenExecutor,),
+        )
+
+        def heal(attempt: int, exc: BaseException) -> None:
+            context.counters.add_extra("pool_rebuilds")
+            context.counters.add_extra(
+                "chunks_retried", sum(1 for part in results if part is None)
+            )
+            self._heal_pool()
+
+        try:
+            policy.run(
+                lambda: self._attempt_layer(
+                    layer, chunks, previous, retain_full, results
+                ),
+                describe=f"layer {layer} chunk fan-out",
+                on_retry=heal,
+            )
+        except BrokenExecutor as exc:
+            # Healing budget exhausted; drop the dead pool so a caller
+            # holding this instance is not left pinning corpses, and
+            # surface where the run stood.  The engine stamps the last
+            # committed checkpoint path onto the error on its way out.
+            self._teardown_pool(wait=True)
+            raise ExecutorBrokenError(
+                f"process pool died executing layer {layer} and stayed "
+                f"broken after {policy.retries_used} rebuild(s); resume "
+                "from the last committed checkpoint, or raise "
+                "max_pool_rebuilds if the deaths are transient",
+                layer=layer,
+                pool_rebuilds=policy.retries_used,
+            ) from exc
+        assert all(part is not None for part in results)
+        return results  # type: ignore[return-value]
+
+    def _attempt_layer(
+        self,
+        layer: int,
+        chunks: Sequence[Sequence[int]],
+        previous: PreviousLayer,
+        retain_full: bool,
+        results: List[Optional[ChunkResult]],
+    ) -> None:
+        """One submit/collect pass over the chunks still missing results.
+
+        Raises ``BrokenExecutor`` (letting the retry policy heal and
+        call back) after harvesting every future that *did* complete —
+        a dead worker invalidates only work the pool never finished, so
+        completed chunks merge exactly once and are never re-run.
+        """
+        context = self._context
+        assert context is not None
         self._ensure_pool(context)
         self._ensure_sweep_shipped(context)
         profiler = context.profiler
-        with _phase(profiler, "ipc_submit"):
-            tasks = [
-                self._make_task(layer, index, chunk, previous, retain_full)
-                for index, chunk in enumerate(chunks)
-            ]
-            futures = [self._pool.submit(_run_chunk_task, t) for t in tasks]
-            context.counters.add_extra("tasks_shipped", len(tasks))
-            context.counters.add_extra(
-                "bytes_shipped", sum(t.payload_bytes for t in tasks)
-            )
-        with _phase(profiler, "ipc_merge"):
-            results = [future.result() for future in futures]
-        return results
+        pending = [i for i, part in enumerate(results) if part is None]
+        futures: Dict[int, Any] = {}
+        try:
+            with _phase(profiler, "ipc_submit"):
+                tasks = [
+                    self._make_task(
+                        layer, index, chunks[index], previous, retain_full
+                    )
+                    for index in pending
+                ]
+                for index, task in zip(pending, tasks):
+                    futures[index] = self._pool.submit(_run_chunk_task, task)
+                context.counters.add_extra("tasks_shipped", len(tasks))
+                context.counters.add_extra(
+                    "bytes_shipped", sum(t.payload_bytes for t in tasks)
+                )
+            with _phase(profiler, "ipc_merge"):
+                for index in pending:
+                    results[index] = futures[index].result()
+        except BrokenExecutor:
+            for index, future in futures.items():
+                if results[index] is not None or not future.done():
+                    continue
+                try:
+                    results[index] = future.result()
+                except BaseException:
+                    pass  # this chunk died with the pool; retry covers it
+            raise
 
     def _make_task(
         self,
@@ -816,6 +1062,9 @@ class ProcessBackend(ExecutorBackend):
                     payload += int(entry.table.nbytes) + _ENTRY_OVERHEAD_BYTES
                 else:
                     payload += _SKELETON_BYTES
+        kill_self: Optional[str] = None
+        if context.fault_injector is not None:
+            kill_self = context.fault_injector.take_worker_kill(layer, index)
         return ChunkTask(
             token=self._sweep_token,
             shm_name=self._shm.name,
@@ -829,6 +1078,7 @@ class ProcessBackend(ExecutorBackend):
             retain_full=retain_full,
             payload_bytes=payload,
             packed=packed,
+            kill_self=kill_self,
         )
 
     # -- plumbing ------------------------------------------------------
@@ -840,13 +1090,48 @@ class ProcessBackend(ExecutorBackend):
         from concurrent.futures import ProcessPoolExecutor
 
         mp = multiprocessing.get_context("spawn")
-        self._cancel_event = mp.Event()
+        if self._cancel_event is None:
+            # Survives pool rebuilds: the budget watcher thread holds a
+            # reference to this event, and a healed pool's workers must
+            # see the same cancellation state the broken pool's did.
+            self._cancel_event = mp.Event()
         self._pool = ProcessPoolExecutor(
             max_workers=self._jobs or context.jobs,
             mp_context=mp,
             initializer=_worker_initializer,
             initargs=(self._cancel_event,),
         )
+
+    def _teardown_pool(self, wait: bool) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+    def _heal_pool(self) -> None:
+        """Replace a broken pool (and its shipped sweep) in place.
+
+        The fresh pool's workers know nothing, so the base table ships
+        again under a *new* token — the old token's worker-side cache
+        entries die with the old workers, and a straggler from the old
+        pool could never cross-talk with the new sweep state.  The
+        budget watcher (if any) keeps running: it only touches the
+        cancellation event, which survives the rebuild.
+        """
+        self._teardown_pool(wait=True)
+        self._release_segment()
+        self._sweep_token = None
+        self._base_spec = None
+
+    def _release_segment(self) -> None:
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        _forget_segment(shm)
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass
 
     def _ensure_sweep_shipped(self, context: SweepContext) -> None:
         if self._sweep_token is not None:
@@ -857,6 +1142,7 @@ class ProcessBackend(ExecutorBackend):
         self._sweep_token = f"{os.getpid()}-{id(self):x}-{self._token_seq}"
         table = np.ascontiguousarray(context.base.table)
         shm = shared_memory.SharedMemory(create=True, size=max(1, table.nbytes))
+        _register_segment(shm)
         view = np.ndarray(table.shape, dtype=table.dtype, buffer=shm.buf)
         np.copyto(view, table)
         self._shm = shm

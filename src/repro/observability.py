@@ -28,7 +28,12 @@ masquerades as kernel time.  Governance events land in the
 ``budget_aborts`` / ``fallback_used`` / ``retries`` extra counters;
 process-backend shipping volume lands in ``tasks_shipped`` /
 ``bytes_shipped`` (the one pair of counters that legitimately differs
-across execution backends).
+across execution backends).  Self-healing events land in
+``pool_rebuilds`` / ``chunks_retried`` — how many times the process
+backend rebuilt its crashed worker pool mid-sweep and how many chunks it
+resubmitted to the fresh pool; both stay zero on a healthy run, and like
+the shipping pair they are transport facts excluded from bit-identity
+comparisons.
 
 Wall-clock numbers are honest measurements of *this* process; the paper's
 complexity claims are still pinned by the deterministic

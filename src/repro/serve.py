@@ -50,14 +50,34 @@ pipeline.  Operations:
     :class:`~repro.analysis.counters.OperationCounters` across every
     request), the shared cache's
     :class:`~repro.core.cache.CacheStats`, and server-level gauges
-    (queue depth, in-flight, rejections, coalesced duplicates).
+    (queue depth, in-flight, rejections, coalesced duplicates,
+    backend restarts).
+``{"op": "health"}``
+    Probe document for load balancers and supervisors: ``healthy``
+    verdict, queue depth, in-flight count, warm-backend pool liveness
+    (:meth:`~repro.core.executor.ExecutorBackend.healthy`),
+    ``backend_restarts`` and seconds since the last restart.  Answered
+    even while draining (``healthy`` goes false), so probes see the
+    drain instead of a timeout.
 ``{"op": "ping"}``
     Liveness probe.
 
 Every response carries an HTTP-style ``status``: 200 served, 400
 malformed request, 429 queue full (the bounded priority queue rejects
-rather than buffers without bound), 503 draining or cancelled, 504
-budget exhausted, 500 internal error.
+rather than buffers without bound), 503 draining / cancelled /
+``backend_restarting``, 504 budget exhausted, 500 internal error.
+
+The warm backend is *supervised*: the process backend already heals a
+SIGKILLed worker in place (pool rebuild + chunk-level retry, see
+:mod:`repro.core.executor`), but when a sweep still dies — healing
+budget exhausted (:class:`~repro.errors.ExecutorBrokenError`) or a raw
+``BrokenProcessPool`` from a non-healing path — the server swaps in a
+freshly warmed backend under its backend mutex, fails *only* the
+in-flight request with a retryable 503 ``BackendRestarting`` error, and
+keeps serving: one broken pool never turns the daemon into a
+500-forever zombie.  ``backend_restarts`` counts the swaps;
+:class:`ServeClient` can retry through them automatically
+(``retries=``/``backoff=``).
 
 Resource governance is per request: each admitted request derives a
 fresh :meth:`~repro.core.budget.Budget.subbudget` from one server-level
@@ -98,6 +118,7 @@ import threading
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -109,7 +130,9 @@ from .core.cache import ResultCache, table_key
 from .core.engine import EngineConfig
 from .core.executor import ExecutorBackend, shared_backend
 from .core.spec import ReductionRule
-from .errors import BudgetExceeded, ReproError, ServeError
+from .errors import (
+    BudgetExceeded, ExecutorBrokenError, ReproError, ServeError,
+)
 from .truth_table import TruthTable
 
 __all__ = [
@@ -185,6 +208,13 @@ class ServeConfig:
     max_frontier_mb: Optional[float] = None
     """Frontier byte cap applied to every request's subbudget."""
 
+    max_pool_rebuilds: Optional[int] = None
+    """Self-healing budget of the warm process backend (how many pool
+    rebuilds one DP layer may consume before its request fails; see
+    :class:`~repro.core.engine.EngineConfig.max_pool_rebuilds`).
+    ``None`` keeps the backend default (2); ``0`` disables in-sweep
+    healing, leaving recovery entirely to the server-level backend swap."""
+
     max_request_bytes: int = 8 * 1024 * 1024
     """Per-line transport limit (a ``values`` table for n=16 as a bit
     string is 64 KiB; as a JSON list ~20x that)."""
@@ -237,6 +267,11 @@ class ServerMetrics:
     """Batch items that shared a canonical fingerprint with an earlier
     item in the same manifest and were resolved without queueing."""
 
+    backend_restarts: int = 0
+    """Times the supervisor replaced a broken warm backend with a
+    freshly warmed one (each swap failed exactly one in-flight request
+    with a retryable 503 ``BackendRestarting``)."""
+
     def snapshot(self) -> Dict[str, int]:
         return {
             "received": self.received,
@@ -252,6 +287,7 @@ class ServerMetrics:
             "batches": self.batches,
             "batch_items": self.batch_items,
             "batch_deduped": self.batch_deduped,
+            "backend_restarts": self.backend_restarts,
         }
 
 
@@ -394,6 +430,12 @@ class OrderingServer:
         self._totals_lock = threading.Lock()
         self._backend: Optional[ExecutorBackend] = None
         self._backend_cm: Optional[Any] = None
+        self._backend_lock = threading.Lock()
+        """Serializes backend swaps against each other and against the
+        drain path; a request thread whose backend just died takes it to
+        install the replacement (or to discover a peer already did)."""
+
+        self._last_restart: Optional[float] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._queue: "asyncio.PriorityQueue[_QueuedRequest]" = None  # type: ignore[assignment]
         self._workers: List[asyncio.Task] = []
@@ -417,14 +459,10 @@ class OrderingServer:
         self._loop = asyncio.get_running_loop()
         self._queue = asyncio.PriorityQueue(maxsize=config.queue_limit)
         self._done = asyncio.Event()
-        # Pin ONE live backend instance for the whole server lifetime;
-        # every request's sweep reuses its warm pool.
-        self._backend_cm = shared_backend(
-            EngineConfig(kernel=config.engine, jobs=config.jobs,
-                         backend=config.backend,
-                         frontier_store=config.frontier_store)
-        )
-        self._backend = self._backend_cm.__enter__().backend
+        # Pin ONE live backend instance for the whole server lifetime
+        # (until a supervisor swap); every request's sweep reuses its
+        # warm pool.
+        self._warm_backend()
         self._pool = ThreadPoolExecutor(
             max_workers=config.max_inflight,
             thread_name_prefix="repro-serve",
@@ -513,10 +551,11 @@ class OrderingServer:
         self._installed_signals.clear()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
-        if self._backend_cm is not None:
-            self._backend_cm.__exit__(None, None, None)
-            self._backend_cm = None
-            self._backend = None
+        with self._backend_lock:
+            if self._backend_cm is not None:
+                self._backend_cm.__exit__(None, None, None)
+                self._backend_cm = None
+                self._backend = None
         for conn in list(self._connections):
             conn.writer.close()
         try:
@@ -539,6 +578,49 @@ class OrderingServer:
 
     def _log(self, message: str) -> None:
         print(f"repro serve: {message}", file=sys.stderr, flush=True)
+
+    # -- backend supervision -------------------------------------------
+
+    def _warm_backend(self) -> None:
+        """Enter a fresh ``shared_backend`` block and pin its instance.
+        Caller holds ``_backend_lock`` (or is single-threaded startup)."""
+        config = self.config
+        cm = shared_backend(
+            EngineConfig(kernel=config.engine, jobs=config.jobs,
+                         backend=config.backend,
+                         frontier_store=config.frontier_store,
+                         max_pool_rebuilds=config.max_pool_rebuilds)
+        )
+        self._backend = cm.__enter__().backend
+        self._backend_cm = cm
+
+    def _restart_backend(self, broken: Optional[ExecutorBackend]) -> None:
+        """Swap a freshly warmed backend in for ``broken``.
+
+        Runs on the request thread that caught the death.  The identity
+        check makes concurrent failures converge on ONE swap: whichever
+        thread takes the lock first replaces the instance, and peers
+        that lost the race see ``self._backend is not broken`` and keep
+        the replacement.  A drain that already released the backend
+        (``_backend_cm is None``) suppresses the swap entirely.
+        """
+        with self._backend_lock:
+            if self._backend is not broken or self._backend_cm is None:
+                return
+            old_cm = self._backend_cm
+            self._backend = None
+            self._backend_cm = None
+            try:
+                old_cm.__exit__(None, None, None)
+            except Exception as exc:  # noqa: BLE001 - it is already broken
+                self._log(f"closing broken backend failed: {exc!r}")
+            self._warm_backend()
+            self.metrics.backend_restarts += 1
+            self._last_restart = time.monotonic()
+            self._log(
+                "execution backend died; a freshly warmed replacement is "
+                f"serving (restart #{self.metrics.backend_restarts})"
+            )
 
     # -- connection handling -------------------------------------------
 
@@ -617,13 +699,22 @@ class OrderingServer:
                 "metrics": self.metrics_snapshot(),
             })
             return
+        if op == "health":
+            # Answered even while draining: a probe that times out looks
+            # like a hang, a probe that reports healthy=false explains it.
+            await self._respond(conn, {
+                "id": request_id, "ok": True, "status": 200,
+                "health": self.health_snapshot(),
+            })
+            return
         if op not in ("solve", "solve_many"):
             self.metrics.bad_requests += 1
             await self._respond(conn, {
                 "id": request_id, "ok": False, "status": 400,
                 "error": {"type": "ProtocolError",
                           "message": f"unknown op {op!r}; expected "
-                                     "solve/solve_many/metrics/ping"},
+                                     "solve/solve_many/metrics/health/"
+                                     "ping"},
             })
             return
         if self._draining:
@@ -1096,6 +1187,10 @@ class OrderingServer:
     def _execute(self, prepared: _Prepared) -> Dict[str, Any]:
         """Run one governed solve (in the pool); returns the response body."""
         config = self.config
+        # Pin the instance for this request: a concurrent supervisor
+        # swap must not hand us half-warmed state, and on failure we
+        # must name the exact instance we broke.
+        backend = self._backend
         sub = (
             prepared.budget
             if prepared.budget is not None
@@ -1114,7 +1209,7 @@ class OrderingServer:
                     rule=prepared.rule,
                     engine=config.engine,
                     jobs=config.jobs,
-                    backend=self._backend,
+                    backend=backend,
                     cache=self.cache,
                     frontier_store=config.frontier_store,
                 )
@@ -1132,12 +1227,28 @@ class OrderingServer:
                     rule=prepared.rule,
                     engine=config.engine,
                     jobs=config.jobs,
-                    backend=self._backend,
+                    backend=backend,
                     frontier_store=config.frontier_store,
                     cache=self.cache,
                     budget=sub,
                     **prepared.solve_kwargs,
                 )
+        except (ExecutorBrokenError, BrokenProcessPool) as exc:
+            # The backend's in-sweep healing gave up (or was disabled),
+            # or a pool death escaped on a non-healing path: the warm
+            # pool is dead either way.  Swap in a fresh backend and fail
+            # only this request, retryably.
+            self._restart_backend(backend)
+            with self._totals_lock:
+                self.metrics.kernel_sweeps += 1
+            return {
+                "ok": False, "status": 503,
+                "error": {"type": "BackendRestarting",
+                          "message": f"execution backend died "
+                                     f"mid-request ({exc}); a fresh "
+                                     "backend is warming — retry",
+                          "retryable": True},
+            }
         except BudgetExceeded as exc:
             status = 503 if exc.reason == "cancelled" else 504
             with self._totals_lock:
@@ -1175,6 +1286,34 @@ class OrderingServer:
 
     # -- observability -------------------------------------------------
 
+    def health_snapshot(self) -> Dict[str, Any]:
+        """The ``health`` op document: cheap, lock-light, probe-friendly.
+
+        ``healthy`` is the one-bit verdict (accepting work AND the warm
+        backend's pool is alive); the rest is the evidence a supervisor
+        wants next to it.  ``backend_alive`` consults
+        :meth:`~repro.core.executor.ExecutorBackend.healthy` — for the
+        process backend, whether the pool object is marked broken —
+        without touching the pool itself.
+        """
+        backend = self._backend
+        now = time.monotonic()
+        backend_alive = backend is not None and backend.healthy()
+        return {
+            "healthy": backend_alive and not self._draining,
+            "draining": self._draining,
+            "backend": self.config.backend,
+            "backend_alive": backend_alive,
+            "backend_restarts": self.metrics.backend_restarts,
+            "last_restart_seconds_ago": (
+                round(now - self._last_restart, 3)
+                if self._last_restart is not None else None
+            ),
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "in_flight": self._in_flight,
+            "uptime_seconds": round(now - self._started_at, 3),
+        }
+
     def metrics_snapshot(self) -> Dict[str, Any]:
         """The ``/metrics`` document (also handy for embedders)."""
         stats = self.cache.stats
@@ -1203,6 +1342,7 @@ class OrderingServer:
                 "cache_dir": self.config.cache_dir,
                 "cache_shards": self.config.cache_shards,
                 "max_batch_items": self.config.max_batch_items,
+                "max_pool_rebuilds": self.config.max_pool_rebuilds,
             },
         }
 
@@ -1276,24 +1416,65 @@ class ServeClient:
     is one line; :meth:`request` returns the raw response dict, the
     convenience wrappers raise :class:`~repro.errors.ServeError` when
     the server says ``ok: false``.
+
+    ``retries`` (default 0: off) arms bounded reconnect-with-backoff
+    for *idempotent* convenience ops — :meth:`ping`, :meth:`metrics`,
+    :meth:`health` and :meth:`solve` (a pure function of its payload;
+    resubmission reuses the same request ``id``).  Retried failures are
+    the transient ones a healthy deployment produces: a connection the
+    server dropped (``ConnectionResetError`` / ``BrokenPipeError`` /
+    the "server closed the connection" 503) and a 503
+    ``BackendRestarting`` answer while the daemon swaps in a fresh
+    backend.  Anything else — 400s, 429 queue-full, 503 draining, 504
+    budget — propagates on the first occurrence.  Sleeps
+    ``backoff * 2**attempt`` seconds between tries.
     """
 
     def __init__(
         self,
         address: Union[Tuple[str, int], Sequence[Any], str],
         timeout: float = 120.0,
+        retries: int = 0,
+        backoff: float = 0.2,
     ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
+        self._address = address
+        self._timeout = timeout
+        self._retries = int(retries)
+        self._backoff = float(backoff)
+        self._sock: Optional[socket.socket] = None
+        self._file: Optional[Any] = None
+        self._next_id = 0
+        self._pending: Dict[Any, Dict[str, Any]] = {}
+        self._connect()
+
+    def _connect(self) -> None:
+        address = self._address
         if isinstance(address, str):
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(timeout)
+            sock.settimeout(self._timeout)
             sock.connect(address)
         else:
             host, port = address
-            sock = socket.create_connection((host, int(port)), timeout=timeout)
+            sock = socket.create_connection(
+                (host, int(port)), timeout=self._timeout
+            )
         self._sock = sock
         self._file = sock.makefile("rwb")
-        self._next_id = 0
-        self._pending: Dict[Any, Dict[str, Any]] = {}
+
+    def _reconnect(self) -> None:
+        """Drop the dead connection and dial again.  Buffered responses
+        for other ids died with the old socket; pipelined callers should
+        not mix manual ``submit``/``collect`` with retrying ops."""
+        try:
+            self.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        self._pending.clear()
+        self._connect()
 
     def submit(self, payload: Dict[str, Any]) -> Any:
         """Send one request object without waiting; returns its ``id``.
@@ -1336,21 +1517,61 @@ class ServeClient:
         ``id``, not merely the next line off the socket)."""
         return self.collect(self.submit(payload))
 
-    def _checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        response = self.request(payload)
-        if not response.get("ok"):
-            error = response.get("error", {})
-            raise ServeError(
-                f"{error.get('type', 'Error')}: "
-                f"{error.get('message', 'request failed')}",
-                status=int(response.get("status", 500)),
-            )
-        return response
+    @staticmethod
+    def _is_backend_restarting(response: Dict[str, Any]) -> bool:
+        error = response.get("error", {})
+        return (
+            int(response.get("status", 500)) == 503
+            and error.get("type") == "BackendRestarting"
+        )
+
+    def _checked(
+        self, payload: Dict[str, Any], *, retryable: bool = False
+    ) -> Dict[str, Any]:
+        attempts = self._retries + 1 if retryable else 1
+        if retryable and "id" not in payload:
+            # Pre-assign the id so every resubmission of this request is
+            # recognizably the *same* request, not a new one.
+            self._next_id += 1
+            payload = {**payload, "id": self._next_id}
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self._backoff * (2 ** (attempt - 1)))
+            try:
+                response = self.request(payload)
+            except (ConnectionResetError, BrokenPipeError, ServeError) as exc:
+                # collect() raises a 503 ServeError when the server drops
+                # the connection mid-read; same remedy as a raw reset.
+                dropped = isinstance(
+                    exc, (ConnectionResetError, BrokenPipeError)
+                ) or exc.status == 503
+                if not (retryable and dropped and attempt + 1 < attempts):
+                    raise
+                self._reconnect()
+                continue
+            if not response.get("ok"):
+                if (
+                    retryable
+                    and attempt + 1 < attempts
+                    and self._is_backend_restarting(response)
+                ):
+                    # Daemon is swapping in a fresh backend; the
+                    # connection stays valid — wait and resubmit.
+                    continue
+                error = response.get("error", {})
+                raise ServeError(
+                    f"{error.get('type', 'Error')}: "
+                    f"{error.get('message', 'request failed')}",
+                    status=int(response.get("status", 500)),
+                )
+            return response
+        raise AssertionError("unreachable: final attempt returns or raises")
 
     def solve(self, **payload: Any) -> Dict[str, Any]:
         """``solve`` op; returns the ``result`` dict.  Keyword args are
-        the wire fields (``expr=``/``values=``/``method=``/...)."""
-        response = self._checked({**payload, "op": "solve"})
+        the wire fields (``expr=``/``values=``/``method=``/...).
+        Idempotent, so eligible for client ``retries=``."""
+        response = self._checked({**payload, "op": "solve"}, retryable=True)
         return response["result"]
 
     def solve_many(
@@ -1360,22 +1581,34 @@ class ServeClient:
         ``results`` (per-item bodies, each shaped like a single ``solve``
         response), ``statuses`` and ``summary``.  Keyword args are
         batch-level wire fields (``method=``/``rule=``/``timeout=``/
-        ``fallback=``/``priority=``)."""
+        ``fallback=``/``priority=``).  Never auto-retried: a partially
+        completed batch is not safely resubmittable."""
         return self._checked(
             {**payload, "op": "solve_many", "items": list(items)}
         )
 
     def metrics(self) -> Dict[str, Any]:
-        return self._checked({"op": "metrics"})["metrics"]
+        return self._checked({"op": "metrics"}, retryable=True)["metrics"]
+
+    def health(self) -> Dict[str, Any]:
+        """``health`` op; the daemon's liveness report (backend
+        aliveness, restart count, queue depth)."""
+        return self._checked({"op": "health"}, retryable=True)["health"]
 
     def ping(self) -> bool:
-        return bool(self._checked({"op": "ping"}).get("pong"))
+        return bool(
+            self._checked({"op": "ping"}, retryable=True).get("pong")
+        )
 
     def close(self) -> None:
         try:
-            self._file.close()
+            if self._file is not None:
+                self._file.close()
         finally:
-            self._sock.close()
+            self._file = None
+            if self._sock is not None:
+                self._sock.close()
+                self._sock = None
 
     def __enter__(self) -> "ServeClient":
         return self

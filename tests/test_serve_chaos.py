@@ -1,0 +1,348 @@
+"""Serve-layer robustness: a dead pool costs one request, not the daemon.
+
+The supervisor contract under test: when the warm process backend dies
+mid-request (workers SIGKILLed — the container-OOM scenario), exactly
+the in-flight request fails, with a retryable 503 ``BackendRestarting``;
+the daemon swaps in a freshly warmed backend under its mutex, keeps
+answering, and accounts the swap in ``backend_restarts`` and the
+``health`` op.  On the client side, ``ServeClient(retries=...)`` rides
+through both that 503 and dropped connections on idempotent ops —
+resubmitting ``solve`` with the *same* request id — while staying
+strictly opt-in (default 0 retries) and never auto-retrying
+``solve_many``.
+"""
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import solve
+from repro.errors import ServeError
+from repro.serve import ServeClient, ServeConfig, running_server
+from repro.truth_table import TruthTable
+
+# Distinct tables per request: the daemon's always-on result cache
+# would otherwise answer a repeated fingerprint without ever touching
+# the (deliberately broken) backend.
+TABLE_A = TruthTable.random(5, seed=41)
+TABLE_B = TruthTable.random(5, seed=42)
+TABLE_C = TruthTable.random(5, seed=43)
+
+
+def _values_payload(table):
+    return {
+        "values": "".join(str(int(v)) for v in table.values),
+        "n": table.n,
+    }
+
+
+def _paper_view(wire_counters):
+    """Wire counters minus the transport/healing gauges and the daemon's
+    cache accounting — the residue must be comparable across backends
+    and against a cache-less direct solve."""
+    return {
+        k: v
+        for k, v in wire_counters.items()
+        if k
+        not in (
+            "tasks_shipped",
+            "bytes_shipped",
+            "pool_rebuilds",
+            "chunks_retried",
+            "cache_hits",
+            "cache_misses",
+            "cache_stores",
+        )
+    }
+
+
+def _process_config(**overrides):
+    """A server whose backend really forks workers — the thing that can
+    die.  max_pool_rebuilds=0 turns off executor-level healing so worker
+    death surfaces to the supervisor deterministically."""
+    defaults = dict(
+        backend="process",
+        jobs=2,
+        max_pool_rebuilds=0,
+        max_inflight=1,
+        queue_limit=16,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def _kill_pool_workers(server):
+    """SIGKILL every child of the daemon's warm pool."""
+    pool = server._backend._pool
+    assert pool is not None, "pool not warmed yet"
+    for proc in list(pool._processes.values()):
+        os.kill(proc.pid, signal.SIGKILL)
+
+
+class TestBackendSupervisor:
+    def test_daemon_survives_pool_death(self):
+        direct_a = solve(TABLE_A)
+        direct_c = solve(TABLE_C)
+        with running_server(_process_config()) as server:
+            with ServeClient(server.address) as client:
+                # Warm the pool with a real solve.
+                first = client.solve(
+                    method="fs", **_values_payload(TABLE_A)
+                )
+                assert first["mincost"] == direct_a.mincost
+
+                _kill_pool_workers(server)
+
+                # The in-flight request over the corpse fails retryably.
+                with pytest.raises(ServeError) as excinfo:
+                    client.solve(method="fs", **_values_payload(TABLE_B))
+                assert excinfo.value.status == 503
+                assert "BackendRestarting" in str(excinfo.value)
+
+                # ...and only that request: the swap already happened by
+                # the time the 503 went out, so the next solve succeeds
+                # bit-identically on the fresh backend.
+                again = client.solve(
+                    method="fs", **_values_payload(TABLE_C)
+                )
+                assert tuple(again["order"]) == direct_c.order
+                assert again["mincost"] == direct_c.mincost
+                assert _paper_view(again["counters"]) == _paper_view(
+                    direct_c.counters.snapshot()
+                )
+
+                health = client.health()
+                assert health["healthy"] is True
+                assert health["backend_alive"] is True
+                assert health["backend_restarts"] == 1
+                assert health["last_restart_seconds_ago"] is not None
+                assert client.metrics()["server"]["backend_restarts"] == 1
+
+    def test_client_retries_ride_through_restart(self):
+        direct_b = solve(TABLE_B)
+        with running_server(_process_config()) as server:
+            client = ServeClient(
+                server.address, retries=3, backoff=0.01
+            )
+            try:
+                client.solve(method="fs", **_values_payload(TABLE_A))
+                _kill_pool_workers(server)
+                # With retries armed the 503 is invisible to the caller.
+                healed = client.solve(
+                    method="fs", **_values_payload(TABLE_B)
+                )
+                assert tuple(healed["order"]) == direct_b.order
+                assert healed["mincost"] == direct_b.mincost
+                assert client.health()["backend_restarts"] == 1
+            finally:
+                client.close()
+
+    def test_health_op_on_healthy_daemon(self):
+        with running_server(_process_config()) as server:
+            with ServeClient(server.address) as client:
+                health = client.health()
+                assert health["healthy"] is True
+                assert health["backend"] == "process"
+                assert health["backend_restarts"] == 0
+                assert health["last_restart_seconds_ago"] is None
+                assert health["queue_depth"] == 0
+                assert health["in_flight"] == 0
+                assert health["uptime_seconds"] >= 0
+
+
+# ----------------------------------------------------------------------
+# ServeClient reconnect-with-backoff against a scripted stub server
+# ----------------------------------------------------------------------
+
+class _FlakyStub:
+    """A server that drops the first ``drops`` connections after reading
+    one request line, then serves normally — the shape of a daemon whose
+    frontend died and came back."""
+
+    def __init__(self, drops=1, responses=None):
+        self.drops = drops
+        self.responses = list(responses or [])
+        self.received = []
+        self.connections = 0
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.address = self._sock.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            with conn:
+                # makefile() keeps the socket alive until the file is
+                # closed too, so hang-ups must close both.
+                f = conn.makefile("rwb")
+                try:
+                    if self.connections <= self.drops:
+                        f.readline()  # swallow the request, then hang up
+                        continue
+                    while True:
+                        line = f.readline()
+                        if not line:
+                            break
+                        request = json.loads(line)
+                        self.received.append(request)
+                        if self.responses:
+                            body = self.responses.pop(0)
+                        else:
+                            body = {"ok": True, "pong": True}
+                        body = {**body, "id": request.get("id")}
+                        f.write(json.dumps(body).encode() + b"\n")
+                        f.flush()
+                finally:
+                    f.close()
+
+    def close(self):
+        self._sock.close()
+
+
+class TestClientReconnect:
+    def test_off_by_default(self):
+        stub = _FlakyStub(drops=1)
+        try:
+            with ServeClient(stub.address) as client:
+                with pytest.raises(ServeError) as excinfo:
+                    client.ping()
+                assert excinfo.value.status == 503
+        finally:
+            stub.close()
+
+    def test_reconnects_and_resends_same_id(self):
+        stub = _FlakyStub(drops=2)
+        try:
+            client = ServeClient(stub.address, retries=3, backoff=0.0)
+            try:
+                assert client.ping() is True
+            finally:
+                client.close()
+            assert stub.connections == 3
+            assert len(stub.received) == 1
+        finally:
+            stub.close()
+
+    def test_retries_exhausted_raises(self):
+        stub = _FlakyStub(drops=5)
+        try:
+            client = ServeClient(stub.address, retries=2, backoff=0.0)
+            try:
+                with pytest.raises(ServeError):
+                    client.ping()
+            finally:
+                client.close()
+        finally:
+            stub.close()
+
+    def test_backend_restarting_resubmits_same_id(self):
+        restarting = {
+            "ok": False,
+            "status": 503,
+            "error": {"type": "BackendRestarting", "retryable": True},
+        }
+        stub = _FlakyStub(
+            drops=0,
+            responses=[restarting, {"ok": True, "result": {"mincost": 3}}],
+        )
+        try:
+            client = ServeClient(stub.address, retries=2, backoff=0.0)
+            try:
+                result = client.solve(values="0110", n=2)
+                assert result == {"mincost": 3}
+            finally:
+                client.close()
+            # One connection, two submissions, identical request id.
+            assert stub.connections == 1
+            assert len(stub.received) == 2
+            assert stub.received[0]["id"] == stub.received[1]["id"]
+            assert stub.received[0] == stub.received[1]
+        finally:
+            stub.close()
+
+    def test_draining_503_is_not_retried(self):
+        draining = {
+            "ok": False,
+            "status": 503,
+            "error": {"type": "Draining", "retryable": True},
+        }
+        stub = _FlakyStub(drops=0, responses=[draining])
+        try:
+            client = ServeClient(stub.address, retries=5, backoff=0.0)
+            try:
+                with pytest.raises(ServeError, match="Draining"):
+                    client.ping()
+            finally:
+                client.close()
+            assert len(stub.received) == 1
+        finally:
+            stub.close()
+
+    def test_client_errors_never_retried(self):
+        bad = {
+            "ok": False,
+            "status": 400,
+            "error": {"type": "BadRequest", "message": "no such op"},
+        }
+        stub = _FlakyStub(drops=0, responses=[bad])
+        try:
+            client = ServeClient(stub.address, retries=5, backoff=0.0)
+            try:
+                with pytest.raises(ServeError, match="BadRequest"):
+                    client.metrics()
+            finally:
+                client.close()
+            assert len(stub.received) == 1
+        finally:
+            stub.close()
+
+    def test_solve_many_is_never_auto_retried(self):
+        stub = _FlakyStub(drops=1)
+        try:
+            client = ServeClient(stub.address, retries=5, backoff=0.0)
+            try:
+                with pytest.raises(ServeError) as excinfo:
+                    client.solve_many([{"values": "0110", "n": 2}])
+                assert excinfo.value.status == 503
+            finally:
+                client.close()
+            assert stub.connections == 1
+        finally:
+            stub.close()
+
+    def test_backoff_sleeps_between_attempts(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", lambda s: sleeps.append(s))
+        stub = _FlakyStub(drops=2)
+        try:
+            client = ServeClient(stub.address, retries=3, backoff=0.2)
+            try:
+                assert client.ping() is True
+            finally:
+                client.close()
+            assert sleeps == [0.2, 0.4]
+        finally:
+            stub.close()
+
+    def test_constructor_validates_knobs(self):
+        stub = _FlakyStub(drops=0)
+        try:
+            with pytest.raises(ValueError):
+                ServeClient(stub.address, retries=-1)
+            with pytest.raises(ValueError):
+                ServeClient(stub.address, backoff=-0.5)
+        finally:
+            stub.close()
