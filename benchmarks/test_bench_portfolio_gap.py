@@ -1,0 +1,109 @@
+"""Optimality gap of every registered portfolio strategy vs the exact DP.
+
+Measured: for each function family (n <= 10) the exact FS optimum and the
+total size each registered heuristic strategy reaches, reported as a
+quality ratio (strategy size / optimum, 1.00 = optimal).  The portfolio's
+pitch is that racing diverse inexact strategies keeps the *best* member
+close to the certified optimum even where individual members wander —
+gated here at within 15% per family.
+
+Artifacts: BENCH_portfolio_gap.json next to this file (uploaded by CI).
+"""
+
+import json
+import pathlib
+
+from conftest import print_table
+
+from repro.core import run_fs
+from repro.functions import (
+    achilles_heel,
+    comparator,
+    hidden_weighted_bit,
+    multiplexer,
+    random_dnf_function,
+)
+from repro.portfolio import available_strategies, run_strategy
+from repro.truth_table import TruthTable
+
+FUNCTIONS = [
+    ("achilles(4)", lambda: achilles_heel(4)),
+    ("achilles(5)", lambda: achilles_heel(5)),
+    ("comparator(3)", lambda: comparator(3)),
+    ("multiplexer(2)", lambda: multiplexer(2)),
+    ("hwb(6)", lambda: hidden_weighted_bit(6)),
+    ("random-dnf(7)", lambda: random_dnf_function(7, 5, 3, seed=7)),
+    ("random(7)", lambda: TruthTable.random(7, seed=7)),
+]
+
+GATE_RATIO = 1.15  # best inexact member must land within 15% of optimal
+
+
+def run_gap_sweep():
+    strategies = available_strategies()
+    rows = []
+    for name, make in FUNCTIONS:
+        table = make()
+        optimum = run_fs(table).size
+        members = {}
+        for strategy in strategies:
+            result = run_strategy(strategy, table, seed=3)
+            members[strategy] = {
+                "size": result.size,
+                "ratio": result.size / optimum,
+                "evaluations": result.evaluations,
+                "status": result.status,
+            }
+        rows.append({
+            "function": name,
+            "n": table.n,
+            "optimum": optimum,
+            "strategies": members,
+            "best_ratio": min(m["ratio"] for m in members.values()),
+            "best_strategy": min(members,
+                                 key=lambda s: (members[s]["ratio"], s)),
+        })
+    return rows
+
+
+def test_portfolio_gap(benchmark):
+    rows = benchmark.pedantic(run_gap_sweep, rounds=1, iterations=1)
+    strategies = available_strategies()
+
+    display = [
+        (
+            row["function"],
+            row["optimum"],
+            *(f"{row['strategies'][s]['ratio']:.2f}x" for s in strategies),
+            f"{row['best_ratio']:.2f}x ({row['best_strategy']})",
+        )
+        for row in rows
+    ]
+    print_table(
+        "Portfolio members vs exact optimum (ratio; 1.00x = optimal)",
+        ["function", "optimal", *strategies, "best"],
+        display,
+    )
+
+    for row in rows:
+        for strategy, member in row["strategies"].items():
+            # Nobody beats (or miscounts past) the certified optimum.
+            assert member["size"] >= row["optimum"], (row["function"],
+                                                      strategy)
+        # The gate: racing the registered pool keeps the best member
+        # within 15% of optimal on every n <= 10 family here.
+        assert row["best_ratio"] <= GATE_RATIO, (row["function"],
+                                                 row["best_ratio"])
+
+    record = {
+        "benchmark": "portfolio_gap",
+        "gate_ratio": GATE_RATIO,
+        "strategies": list(strategies),
+        "families": rows,
+    }
+    out_path = pathlib.Path(__file__).parent / "BENCH_portfolio_gap.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+
+    reloaded = json.loads(out_path.read_text())
+    assert reloaded["benchmark"] == "portfolio_gap"
+    assert len(reloaded["families"]) == len(FUNCTIONS)

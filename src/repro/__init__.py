@@ -17,7 +17,10 @@ Quick start
 
 ``solve(problem, method="fs"|"shared"|"constrained"|"window"|"fs_star")``
 is the stable front door over the five DP entry points (``run_fs`` and
-friends remain the full-fidelity interfaces).
+friends remain the full-fidelity interfaces).  Orthogonally,
+``solve(problem, strategy="exact"|"fallback"|"portfolio"|<name>)``
+selects how hard to try: the exact DP, the budget-degradation ladder,
+or the registered heuristic portfolio (see :mod:`repro.portfolio`).
 
 See README.md for the architecture overview, DESIGN.md for the system
 inventory, and EXPERIMENTS.md for the paper-vs-measured record.
@@ -57,6 +60,17 @@ from .core import (
 )
 from .api import OrderingSolution, solve
 from .expr import CNF, DNF, Circuit, parse, to_truth_table
+from .portfolio import (
+    PortfolioResult,
+    SearchResult,
+    StrategyResult,
+    available_strategies,
+    register_strategy,
+    run_portfolio,
+    run_strategy,
+    sift_search,
+    window_permutation_search,
+)
 from .quantum import ClassicalMinimumFinder, QuantumMinimumFinder, QueryLedger
 from .truth_table import TruthTable, count_subfunctions, obdd_size
 
@@ -103,6 +117,16 @@ __all__ = [
     "window_permute",
     "obdd_size",
     "count_subfunctions",
+    # heuristic strategy portfolio
+    "available_strategies",
+    "register_strategy",
+    "run_portfolio",
+    "run_strategy",
+    "sift_search",
+    "window_permutation_search",
+    "PortfolioResult",
+    "SearchResult",
+    "StrategyResult",
     # quantum (simulated)
     "QueryLedger",
     "ClassicalMinimumFinder",

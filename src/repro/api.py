@@ -18,6 +18,18 @@ Engine knobs (``engine=``, ``jobs=``, ``backend=``, ``frontier=``,
 ``window`` and ``fs_star``, which natively take an
 :class:`~repro.core.engine.EngineConfig` that :func:`solve` assembles
 for you.
+
+Orthogonal to ``method=`` sits the **strategy axis**: ``strategy=``
+selects *how hard to try* rather than *what to compute*.
+``"exact"`` (the default) runs the chosen method as-is;
+``"fallback"`` runs the budget-degradation ladder
+(:func:`repro.core.budget.run_ladder`, the successor of the deprecated
+``optimize_with_fallback``); ``"portfolio"`` races every registered
+heuristic (:func:`repro.portfolio.run_portfolio`) and returns the
+deterministic winner; and any single registered strategy name (see
+:func:`repro.portfolio.available_strategies`) runs that heuristic
+standalone.  Inexact strategies always come back ``exact=False`` so
+``certify``-style consumers refuse them uniformly.
 """
 
 from __future__ import annotations
@@ -84,7 +96,19 @@ class OrderingSolution:
 
     result: Any = None
     """The method's native result object (``FSResult``,
-    ``ConstrainedResult``, ``WindowResult``, or the final ``FSState``)."""
+    ``ConstrainedResult``, ``WindowResult``, the final ``FSState``, a
+    ``FallbackResult``, a ``StrategyResult`` or a ``PortfolioResult``)."""
+
+    strategy: str = "exact"
+    """Which ``solve(strategy=...)`` axis produced this solution:
+    ``"exact"``, ``"fallback"``, ``"portfolio"`` or a registered
+    strategy name."""
+
+    rung: Optional[str] = None
+    """For inexact strategies, the specific producer of :attr:`order`:
+    the ladder rung that completed (``strategy="fallback"``), the
+    winning member (``strategy="portfolio"``), or the strategy itself.
+    ``None`` for plain exact solves."""
 
     @property
     def size(self) -> int:
@@ -105,6 +129,8 @@ class OrderingSolution:
         what makes them bit-identical by construction."""
         return {
             "method": self.method,
+            "strategy": self.strategy,
+            "rung": self.rung,
             "rule": self.rule.value,
             "n": self.n,
             "order": list(self.order),
@@ -144,10 +170,36 @@ def _engine_config(method: str, kwargs: Dict[str, Any]) -> EngineConfig:
     )
 
 
+# The subset of engine kwargs the inexact strategy paths accept (no
+# frontier policy / fault injection / io_retry: strategies run many
+# small exact sweeps and never checkpoint mid-heuristic).
+_STRATEGY_ENGINE_KWARGS = (
+    "engine", "jobs", "backend", "frontier_store", "profiler", "cache",
+    "budget", "checkpoint_dir", "resume", "max_pool_rebuilds",
+)
+
+
+def _strategy_engine_kwargs(
+    strategy: str, kwargs: Dict[str, Any]
+) -> Dict[str, Any]:
+    unknown = sorted(set(kwargs) - set(_STRATEGY_ENGINE_KWARGS))
+    if unknown:
+        raise TypeError(
+            f"solve(strategy={strategy!r}) got unexpected keyword "
+            f"argument(s) {unknown}; engine options are "
+            f"{sorted(_STRATEGY_ENGINE_KWARGS)}"
+        )
+    return dict(kwargs)
+
+
 def solve(
     problem: Any,
     *,
     method: str = "fs",
+    strategy: str = "exact",
+    strategies: Optional[Tuple[str, ...]] = None,
+    fallback_rungs: Any = None,
+    seed: int = 0,
     rule: ReductionRule = ReductionRule.BDD,
     counters: Optional[OperationCounters] = None,
     n: Optional[int] = None,
@@ -178,6 +230,16 @@ def solve(
         / ``width=`` / ``max_rounds=``), locally exact, globally
         heuristic; ``"fs_star"`` — optimally place the variables of
         ``j_mask=`` below an existing chain (Lemma 8 composability).
+    strategy:
+        How hard to try (orthogonal to ``method``, which must stay
+        ``"fs"`` for anything but ``"exact"``): ``"exact"`` runs the
+        method as-is; ``"fallback"`` runs the degradation ladder
+        (``fallback_rungs=`` names the rungs, built-in or registered
+        strategies, default ``fs → window → sift``); ``"portfolio"``
+        races registered heuristics (``strategies=`` restricts the
+        field, ``seed=`` feeds the stochastic members) and returns the
+        deterministic best-``(size, name)`` winner; any registered
+        strategy name runs that one heuristic standalone.
     counters:
         Optional instrumentation sink (a fresh one is created and
         returned on the solution otherwise).
@@ -200,6 +262,29 @@ def solve(
     if counters is None:
         counters = OperationCounters()
     profile = engine_kwargs.get("profiler")
+
+    if strategy != "exact":
+        if method != "fs":
+            raise TypeError(
+                f"solve(strategy={strategy!r}) only supports method='fs' "
+                f"(got method={method!r}); inexact strategies search "
+                "orderings of a single table"
+            )
+        return _solve_strategy(
+            problem, strategy=strategy, strategies=strategies,
+            fallback_rungs=fallback_rungs, seed=seed, rule=rule,
+            counters=counters, n=n, initial_order=initial_order,
+            width=width, max_rounds=max_rounds, profile=profile,
+            engine_kwargs=engine_kwargs,
+        )
+    if strategies is not None:
+        raise TypeError(
+            "solve() got strategies= without strategy='portfolio'"
+        )
+    if fallback_rungs is not None:
+        raise TypeError(
+            "solve() got fallback_rungs= without strategy='fallback'"
+        )
 
     if method == "fs":
         from .core.fs import run_fs
@@ -295,4 +380,105 @@ def solve(
         order=tuple(reversed(final.pi)), mincost=final.mincost,
         exact=True, counters=counters,
         num_terminals=final.num_terminals, profile=profile, result=final,
+    )
+
+
+def _solve_strategy(
+    problem: Any,
+    *,
+    strategy: str,
+    strategies: Optional[Tuple[str, ...]],
+    fallback_rungs: Any,
+    seed: int,
+    rule: ReductionRule,
+    counters: OperationCounters,
+    n: Optional[int],
+    initial_order: Optional[Tuple[int, ...]],
+    width: int,
+    max_rounds: int,
+    profile: Optional[Profiler],
+    engine_kwargs: Dict[str, Any],
+) -> OrderingSolution:
+    """The inexact side of :func:`solve`: ladder, portfolio, or one
+    registered strategy.  Always ``method="fs"`` (the orderings are
+    scored by exact FS-family sweeps) and ``exact`` only when the
+    ladder's exact rung finished."""
+    if strategies is not None and strategy != "portfolio":
+        raise TypeError(
+            "solve() got strategies= without strategy='portfolio'"
+        )
+    if fallback_rungs is not None and strategy != "fallback":
+        raise TypeError(
+            "solve() got fallback_rungs= without strategy='fallback'"
+        )
+    table = _as_table(problem, n)
+    kwargs = _strategy_engine_kwargs(strategy, engine_kwargs)
+
+    if strategy == "fallback":
+        from .core.budget import run_ladder
+
+        outcome = run_ladder(
+            table,
+            budget=kwargs.get("budget"),
+            rule=rule,
+            counters=counters,
+            engine=kwargs.get("engine", "numpy"),
+            jobs=kwargs.get("jobs", 1),
+            backend=kwargs.get("backend", "thread"),
+            cache=kwargs.get("cache"),
+            profiler=kwargs.get("profiler"),
+            window_width=width,
+            checkpoint_dir=kwargs.get("checkpoint_dir"),
+            resume=kwargs.get("resume", False),
+            frontier_store=kwargs.get("frontier_store", "dict"),
+            fallback_rungs=fallback_rungs,
+        )
+        return OrderingSolution(
+            method="fs", n=outcome.n, rule=rule, order=outcome.order,
+            mincost=outcome.mincost, exact=outcome.exact,
+            counters=outcome.counters, num_terminals=outcome.num_terminals,
+            profile=profile, result=outcome, strategy=strategy,
+            rung=outcome.rung,
+        )
+
+    config = EngineConfig(
+        kernel=kwargs.get("engine", "numpy"),
+        jobs=kwargs.get("jobs", 1),
+        backend=kwargs.get("backend", "thread"),
+        frontier_store=kwargs.get("frontier_store", "dict"),
+        profiler=kwargs.get("profiler"),
+        cache=kwargs.get("cache"),
+        budget=kwargs.get("budget"),
+        checkpoint_dir=kwargs.get("checkpoint_dir"),
+        resume=kwargs.get("resume", False),
+        max_pool_rebuilds=kwargs.get("max_pool_rebuilds"),
+        strategy=strategy,
+    )
+
+    if strategy == "portfolio":
+        from .portfolio import run_portfolio
+
+        presult = run_portfolio(
+            table, strategies=strategies, rule=rule, counters=counters,
+            seed=seed, initial_order=initial_order, max_rounds=max_rounds,
+            config=config,
+        )
+        return OrderingSolution(
+            method="fs", n=presult.n, rule=rule, order=presult.order,
+            mincost=presult.mincost, exact=False, counters=presult.counters,
+            num_terminals=presult.num_terminals, profile=profile,
+            result=presult, strategy=strategy, rung=presult.winner,
+        )
+
+    from .portfolio import run_strategy
+
+    sresult = run_strategy(
+        strategy, table, rule=rule, counters=counters, seed=seed,
+        initial_order=initial_order, max_rounds=max_rounds, config=config,
+    )
+    return OrderingSolution(
+        method="fs", n=sresult.n, rule=rule, order=sresult.order,
+        mincost=sresult.mincost, exact=False, counters=sresult.counters,
+        num_terminals=sresult.num_terminals, profile=profile,
+        result=sresult, strategy=strategy, rung=strategy,
     )

@@ -14,25 +14,22 @@ optimum from :mod:`repro.core`.
 
 from __future__ import annotations
 
-import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+import warnings
+from typing import Callable, List, Optional, Sequence
 
+from ..portfolio import SearchResult, sift_search, window_permutation_search
 from ..truth_table import TruthTable, count_subfunctions, obdd_size
 
 SizeFn = Callable[[TruthTable, Sequence[int]], int]
 
-
-@dataclass
-class SearchResult:
-    """Outcome of a heuristic ordering search."""
-
-    order: Tuple[int, ...]
-    size: int
-    evaluations: int
-    trajectory: List[int] = field(default_factory=list)
-    """Best size after each improvement step (for convergence plots)."""
+__all__ = [
+    "SearchResult",
+    "sift",
+    "window_permute",
+    "random_restart_search",
+    "greedy_append",
+]
 
 
 def _evaluate(table: TruthTable, order: Sequence[int], size_fn: SizeFn) -> int:
@@ -45,42 +42,26 @@ def sift(
     size_fn: SizeFn = obdd_size,
     max_rounds: int = 10,
 ) -> SearchResult:
-    """Rudell's sifting heuristic.
+    """Deprecated alias for :func:`repro.portfolio.sift_search`.
 
-    Each round considers every variable (largest-width level first, the
-    classic schedule), moves it through every position of the ordering, and
-    leaves it at the best position found.  Rounds repeat until a fixpoint
-    or ``max_rounds``.
+    The canonical Rudell sifting implementation now lives in the strategy
+    registry.  This shim delegates (bit-identically: same orderings
+    examined, same greedy choices, same evaluation counts) and will be
+    removed in a future release.
     """
-    n = table.n
-    order = list(initial_order) if initial_order is not None else list(range(n))
-    evaluations = 1
-    best_size = _evaluate(table, order, size_fn)
-    trajectory = [best_size]
-
-    for _ in range(max_rounds):
-        improved = False
-        widths = count_subfunctions(table, order)
-        # Sift variables in decreasing order of their current level width.
-        schedule = [order[lv] for lv in sorted(range(n), key=lambda lv: -widths[lv])]
-        for var in schedule:
-            position = order.index(var)
-            best_position = position
-            working = list(order)
-            working.pop(position)
-            for p in range(n):
-                candidate = working[:p] + [var] + working[p:]
-                evaluations += 1
-                size = _evaluate(table, candidate, size_fn)
-                if size < best_size:
-                    best_size = size
-                    best_position = p
-                    improved = True
-                    trajectory.append(size)
-            order = working[:best_position] + [var] + working[best_position:]
-        if not improved:
-            break
-    return SearchResult(tuple(order), best_size, evaluations, trajectory)
+    warnings.warn(
+        "repro.bdd.reorder.sift is deprecated; call "
+        "repro.portfolio.sift_search directly, or use "
+        "repro.solve(problem, strategy='sift') for the full solve API",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return sift_search(
+        table,
+        initial_order=initial_order,
+        size_fn=size_fn,
+        max_rounds=max_rounds,
+    )
 
 
 def window_permute(
@@ -90,41 +71,26 @@ def window_permute(
     size_fn: SizeFn = obdd_size,
     max_rounds: int = 10,
 ) -> SearchResult:
-    """Window-permutation heuristic.
+    """Deprecated alias for :func:`repro.portfolio.window_permutation_search`.
 
-    Slides a window of ``window`` adjacent levels across the ordering and
-    replaces its contents with the best of the ``window!`` permutations.
-    Rounds repeat until no window improves.
+    The window-permutation schedule now lives in the strategy registry
+    (registered as ``window3``/``window4``).  This shim delegates
+    bit-identically and will be removed in a future release.
     """
-    n = table.n
-    if window < 2:
-        raise ValueError("window must be at least 2")
-    window = min(window, n) if n else window
-    order = list(initial_order) if initial_order is not None else list(range(n))
-    evaluations = 1
-    best_size = _evaluate(table, order, size_fn)
-    trajectory = [best_size]
-
-    for _ in range(max_rounds):
-        improved = False
-        for start in range(max(n - window + 1, 0)):
-            segment = order[start:start + window]
-            best_perm = tuple(segment)
-            for perm in itertools.permutations(segment):
-                if perm == tuple(segment):
-                    continue
-                candidate = order[:start] + list(perm) + order[start + window:]
-                evaluations += 1
-                size = _evaluate(table, candidate, size_fn)
-                if size < best_size:
-                    best_size = size
-                    best_perm = perm
-                    improved = True
-                    trajectory.append(size)
-            order = order[:start] + list(best_perm) + order[start + window:]
-        if not improved:
-            break
-    return SearchResult(tuple(order), best_size, evaluations, trajectory)
+    warnings.warn(
+        "repro.bdd.reorder.window_permute is deprecated; call "
+        "repro.portfolio.window_permutation_search directly, or use "
+        "repro.solve(problem, strategy='window3') for the full solve API",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return window_permutation_search(
+        table,
+        initial_order=initial_order,
+        window=window,
+        size_fn=size_fn,
+        max_rounds=max_rounds,
+    )
 
 
 def random_restart_search(

@@ -316,40 +316,16 @@ class ReorderingBDD:
         Each variable (widest level first) slides through all positions;
         it is parked at the best position seen.  Returns the final order
         and diagram size.
+
+        The sweep schedule is shared with the evaluation-level sifters via
+        the strategy-registry driver (:func:`repro.portfolio
+        .run_sift_schedule`); only the candidate enumeration — real level
+        swaps here — differs per substrate.
         """
-        best_size = self.size()
-        for _ in range(max_rounds):
-            improved = False
-            widths = self.level_widths()
-            schedule = [
-                self.order[lv]
-                for lv in sorted(range(self.num_vars), key=lambda l: -widths[l])
-            ]
-            for var in schedule:
-                start = self._position[var]
-                best_position = start
-                # sweep down to the bottom...
-                position = start
-                while position < self.num_vars - 1:
-                    self.swap(position)
-                    position += 1
-                    size = self.size()
-                    if size < best_size:
-                        best_size = size
-                        best_position = position
-                        improved = True
-                # ...then up to the top...
-                while position > 0:
-                    self.swap(position - 1)
-                    position -= 1
-                    size = self.size()
-                    if size < best_size:
-                        best_size = size
-                        best_position = position
-                        improved = True
-                # ...and park at the best position found.
-                self.move_var(var, best_position)
-                self.collect()
-            if not improved:
-                break
-        return list(self.order), self.size()
+        # Deferred: repro.portfolio lazily imports this module for sift_swap.
+        from ..portfolio import SwapSiftSubstrate, run_sift_schedule
+
+        result = run_sift_schedule(
+            SwapSiftSubstrate(self), max_rounds=max_rounds
+        )
+        return list(result.order), result.size

@@ -13,6 +13,8 @@ gap
     Print the Figure 1 ordering-gap series.
 heuristics
     Compare the ordering heuristics against the exact optimum.
+portfolio
+    List the registered ordering strategies, or race them on a function.
 """
 
 from __future__ import annotations
@@ -22,7 +24,8 @@ import sys
 from typing import Optional
 
 from .analysis.parameters import gamma0, gamma1, gamma2_appendix_b, solve_table1, solve_table2
-from .bdd.reorder import greedy_append, random_restart_search, sift, window_permute
+from .bdd.reorder import greedy_append, random_restart_search
+from .portfolio import sift_search, window_permutation_search
 from .core.astar import astar_optimal_ordering
 from .core.bruteforce import brute_force_optimal
 from .core.divide_conquer import opt_obdd
@@ -150,6 +153,12 @@ def _emit_profile(args: argparse.Namespace, profiler: Optional[Profiler],
 
 
 def _run_optimize(args: argparse.Namespace) -> int:
+    if getattr(args, "strategy", None) not in (None, "exact") and (
+            args.batch or args.all_outputs):
+        raise ReproError(
+            "--strategy applies to single-function solves; drop it or "
+            "use the serve daemon's per-request strategy field for batches"
+        )
     if getattr(args, "connect", None):
         if not args.batch:
             raise ReproError(
@@ -172,11 +181,22 @@ def _run_optimize(args: argparse.Namespace) -> int:
     fallback_spec = getattr(args, "fallback", None)
     if fallback_spec is not None and args.algorithm != "fs":
         raise ReproError("--fallback requires --algorithm fs")
+    strategy = getattr(args, "strategy", None)
+    if strategy is not None and strategy != "exact":
+        if args.algorithm != "fs":
+            raise ReproError("--strategy requires --algorithm fs")
+        if fallback_spec is not None and strategy != "fallback":
+            raise ReproError(
+                "--fallback only combines with --strategy fallback"
+            )
+        result = _solve_with_strategy(
+            table, strategy, rule, args, profiler, engine_kwargs,
+            fallback_spec,
+        )
+    elif args.algorithm == "fs" and fallback_spec is not None:
+        from .core.budget import parse_ladder, run_ladder
 
-    if args.algorithm == "fs" and fallback_spec is not None:
-        from .core.budget import optimize_with_fallback, parse_ladder
-
-        result = optimize_with_fallback(
+        result = run_ladder(
             table,
             budget=engine_kwargs.get("budget"),
             ladder=parse_ladder(fallback_spec),
@@ -211,9 +231,18 @@ def _run_optimize(args: argparse.Namespace) -> int:
     print(f"internal nodes   : {result.mincost}")
     print(f"total size       : {result.size}")
     rung = getattr(result, "rung", None)
+    used_strategy = getattr(result, "strategy", None)
+    if used_strategy not in (None, "exact"):
+        print(f"strategy         : {used_strategy}")
     if rung is not None:
+        flavor = ("fallback" if used_strategy in (None, "fallback")
+                  else "heuristic")
         print(f"method           : {rung} "
-              f"({'exact' if exact else 'fallback, not certified optimal'})")
+              f"({'exact' if exact else f'{flavor}, not certified optimal'})")
+    if used_strategy == "portfolio":
+        for member in result.result.results:
+            print(f"  {member.name:<15} size {member.size:4d}  "
+                  f"[{member.status}]")
     if getattr(result, "from_cache", False):
         print("served from      : result cache")
     natural = list(range(table.n))
@@ -222,13 +251,19 @@ def _run_optimize(args: argparse.Namespace) -> int:
     _emit_profile(args, profiler, engine_kwargs.get("cache"))
     if args.dot or args.json:
         if not exact:
+            producer = (
+                f"the {rung!r} rung" if rung is not None
+                else f"strategy {used_strategy!r}"
+            )
             raise ReproError(
                 "--dot/--json reconstruct the minimum diagram, which needs "
-                f"an exact result; the {rung!r} fallback rung produced an "
-                "uncertified ordering (raise --timeout or drop --fallback)"
+                f"an exact result; {producer} produced an uncertified "
+                "ordering (raise --timeout, or use strategy/fallback "
+                "settings that let the exact DP finish)"
             )
-        if rung is not None:
-            result = result.result  # the fs rung's native FSResult
+        while rung is not None and hasattr(result, "result") \
+                and result.result is not None:
+            result = result.result  # unwrap to the fs rung's native FSResult
         fs_result = (
             result if args.algorithm == "fs"
             else run_fs(table, rule=rule, **engine_kwargs)
@@ -242,6 +277,27 @@ def _run_optimize(args: argparse.Namespace) -> int:
             save_diagram(diagram, args.json)
             print(f"wrote JSON       : {args.json}")
     return 0
+
+
+def _solve_with_strategy(table, strategy, rule, args, profiler,
+                         engine_kwargs, fallback_spec):
+    """Dispatch one table through ``repro.solve(strategy=...)`` with the
+    engine options the inexact strategy paths accept."""
+    from .api import solve
+
+    allowed = ("engine", "jobs", "backend", "frontier_store", "cache",
+               "budget", "checkpoint_dir", "resume", "max_pool_rebuilds")
+    kwargs = {k: v for k, v in engine_kwargs.items() if k in allowed}
+    if profiler is not None:
+        kwargs["profiler"] = profiler
+    return solve(
+        table,
+        strategy=strategy,
+        rule=rule,
+        seed=getattr(args, "seed", 0),
+        fallback_rungs=fallback_spec if strategy == "fallback" else None,
+        **kwargs,
+    )
 
 
 def _run_optimize_shared(args: argparse.Namespace) -> int:
@@ -539,9 +595,9 @@ def _governed_exact(table, args, profiler, rule=None):
     if fallback_spec is None:
         result = run_fs(table, profiler=profiler, **kwargs, **engine_kwargs)
         return result, True, None
-    from .core.budget import optimize_with_fallback, parse_ladder
+    from .core.budget import parse_ladder, run_ladder
 
-    result = optimize_with_fallback(
+    result = run_ladder(
         table,
         budget=engine_kwargs.get("budget"),
         ladder=parse_ladder(fallback_spec),
@@ -585,8 +641,9 @@ def _run_heuristics(args: argparse.Namespace) -> int:
         (baseline_label, exact.size, " ".join(f"x{v}" for v in exact.order)),
     ]
     for name, result in (
-        ("sift", sift(table)),
-        ("window3", window_permute(table, window=min(3, max(table.n, 2)))),
+        ("sift", sift_search(table)),
+        ("window3",
+         window_permutation_search(table, window=min(3, max(table.n, 2)))),
         ("random30", random_restart_search(table, tries=30, seed=0)),
         ("greedy", greedy_append(table)),
     ):
@@ -596,6 +653,57 @@ def _run_heuristics(args: argparse.Namespace) -> int:
         ratio = size / exact.size
         print(f"{name:<{width}}  size {size:4d}  ({ratio:.2f}x)  {order}")
     _emit_profile(args, profiler)
+    return 0
+
+
+def _run_portfolio_cmd(args: argparse.Namespace) -> int:
+    from .portfolio import available_strategies, get_strategy, run_portfolio
+
+    has_input = any(
+        getattr(args, name, None) for name in ("expr", "pla", "blif", "dimacs")
+    )
+    if not has_input:
+        print("registered strategies:")
+        width = max(len(name) for name in available_strategies())
+        for name in available_strategies():
+            spec = get_strategy(name)
+            print(f"  {name:<{width}}  [{spec.kind}]  {spec.description}")
+        return 0
+
+    table = _load_table(args)
+    rule = ReductionRule(args.rule)
+    profiler = _make_profiler(args)
+    engine_kwargs = _engine_kwargs(args)
+    from .core.engine import EngineConfig
+
+    config = EngineConfig(
+        kernel=args.engine,
+        jobs=args.jobs,
+        backend=getattr(args, "backend", "thread"),
+        frontier_store=getattr(args, "frontier_store", "dict"),
+        cache=engine_kwargs.get("cache"),
+        profiler=profiler,
+        budget=engine_kwargs.get("budget"),
+        strategy="portfolio",
+    )
+    names = None
+    if args.strategies:
+        names = tuple(
+            part.strip() for part in args.strategies.split(",") if part.strip()
+        )
+    result = run_portfolio(
+        table, strategies=names, rule=rule,
+        seed=getattr(args, "seed", 0), config=config,
+    )
+    print(f"variables        : {table.n}")
+    print(f"rule             : {rule.value}")
+    print(f"winner           : {result.winner} (size {result.size})")
+    print(f"best ordering    : {' '.join(f'x{v}' for v in result.order)}")
+    for member in result.results:
+        order = " ".join(f"x{v}" for v in member.order)
+        print(f"  {member.name:<15} size {member.size:4d}  "
+              f"[{member.status}]  {order}")
+    _emit_profile(args, profiler, engine_kwargs.get("cache"))
     return 0
 
 
@@ -703,9 +811,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="when the budget runs out, degrade through this "
                             "comma-separated ladder instead of failing "
                             "(default ladder: fs,window,sift — exact DP, "
-                            "then the exact-window sweep, then sifting); "
-                            "results from a lower rung are explicitly "
-                            "marked as not certified optimal")
+                            "then the exact-window sweep, then sifting; "
+                            "any registered strategy name is also a valid "
+                            "rung, see 'repro portfolio'); results from a "
+                            "lower rung are explicitly marked as not "
+                            "certified optimal")
+        p.add_argument("--strategy", default=None, metavar="NAME",
+                       help="solve strategy axis: 'exact' (default), "
+                            "'fallback' (the --fallback ladder), "
+                            "'portfolio' (race every registered heuristic "
+                            "and keep the deterministic best-(size, name) "
+                            "winner), or one registered strategy name "
+                            "(list them with 'repro portfolio'); anything "
+                            "but 'exact'/'fallback' is never certified "
+                            "optimal")
+        p.add_argument("--seed", type=nonnegative_int, default=0,
+                       help="deterministic RNG seed for stochastic "
+                            "strategies (annealing); the same seed always "
+                            "reproduces the same search (default 0)")
         p.add_argument("--max-retries", type=nonnegative_int, default=None,
                        metavar="N",
                        help="retry transient checkpoint/cache disk-write "
@@ -772,6 +895,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_options(heur)
     add_profile_option(heur)
     heur.set_defaults(handler=_run_heuristics)
+
+    port = sub.add_parser(
+        "portfolio",
+        help="list the registered ordering strategies, or race them on "
+             "one function (give an input flag) and print the scoreboard",
+    )
+    add_input_options(port)
+    add_engine_options(port)
+    port.add_argument("--rule", choices=[r.value for r in ReductionRule],
+                      default="bdd")
+    port.add_argument("--strategies", default=None, metavar="NAMES",
+                      help="comma-separated subset of registered strategies "
+                           "to race (default: all of them)")
+    port.set_defaults(handler=_run_portfolio_cmd)
 
     rep = sub.add_parser("reproduce",
                          help="regenerate every paper number with verdicts")

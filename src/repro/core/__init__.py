@@ -25,6 +25,7 @@ from .budget import (
     handle_signals,
     optimize_with_fallback,
     parse_ladder,
+    run_ladder,
 )
 from .cache import (
     BatchError,
@@ -133,6 +134,7 @@ __all__ = [
     "handle_signals",
     "optimize_with_fallback",
     "parse_ladder",
+    "run_ladder",
     "BatchError",
     "BatchItem",
     "BatchOutcome",

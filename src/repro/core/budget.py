@@ -26,7 +26,8 @@ larger (or no) budget continues **bit-identically** in results and
 counters, reusing the crash-safety machinery unchanged.
 
 On top of the budget sits a **degradation ladder**,
-:func:`optimize_with_fallback`: try the exact DP, and when its share of
+:func:`run_ladder` (the deprecated :func:`optimize_with_fallback` shim
+delegates here): try the exact DP, and when its share of
 the budget is exhausted step down to the Lemma-8 exact-window sweep,
 then to Rudell sifting — each rung cheaper and less exact than the one
 above, the last rung always completing (it honors cancellation but no
@@ -69,6 +70,8 @@ __all__ = [
     "RungAttempt",
     "handle_signals",
     "optimize_with_fallback",
+    "parse_ladder",
+    "run_ladder",
 ]
 
 
@@ -359,8 +362,8 @@ class RungAttempt:
 
 @dataclass
 class FallbackResult:
-    """What :func:`optimize_with_fallback` returns: an ordering plus an
-    honest statement of how good it is and what produced it."""
+    """What :func:`run_ladder` returns: an ordering plus an honest
+    statement of how good it is and what produced it."""
 
     n: int
     rule: ReductionRule
@@ -384,7 +387,8 @@ class FallbackResult:
     """The producing rung's native result object
     (:class:`~repro.core.fs.FSResult`,
     :class:`~repro.core.window.WindowResult` or
-    :class:`~repro.bdd.reorder.SearchResult`)."""
+    :class:`~repro.portfolio.SearchResult` or
+    :class:`~repro.portfolio.StrategyResult`)."""
 
     @property
     def size(self) -> int:
@@ -422,7 +426,7 @@ def _governed_size_fn(
     return size_fn
 
 
-def optimize_with_fallback(
+def run_ladder(
     table: Any,
     budget: Optional[Budget] = None,
     ladder: Sequence[str] = DEFAULT_LADDER,
@@ -436,7 +440,8 @@ def optimize_with_fallback(
     window_width: int = 3,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
-    frontier_store: str = "dict",
+    frontier_store: Any = "dict",
+    fallback_rungs: Union[str, Sequence[str], None] = None,
 ) -> FallbackResult:
     """Optimize under a budget, degrading through ``ladder`` as needed.
 
@@ -464,6 +469,17 @@ def optimize_with_fallback(
         exact chain-cost oracle under ``rule``.  Seeds from the best
         ordering a deeper rung found before its budget ran out (carried
         on ``BudgetExceeded.best_order``), so partial work is not lost.
+    any registered strategy name
+        Every strategy in the :mod:`repro.portfolio` registry (e.g.
+        ``"sift_symmetric"``, ``"window4"``, ``"anneal"``, ``"entropy"``)
+        is a valid rung: it runs under the rung's budget share and, if
+        its share runs out, degrades to the next rung seeded with its
+        best-so-far ordering.
+
+    ``fallback_rungs`` is the new spelling of ``ladder`` (matching the
+    ``repro.solve`` keyword): a comma-separated string or a sequence of
+    rung names, parsed with :func:`parse_ladder`.  When given it takes
+    precedence over ``ladder``.
 
     A rung below the first tallies the ``fallback_used`` extra counter.
     Raises :class:`~repro.errors.BudgetExceeded` only on cancellation
@@ -480,14 +496,17 @@ def optimize_with_fallback(
     if budget is None:
         budget = Budget()
     budget.arm()
+    if fallback_rungs is not None:
+        ladder = parse_ladder(fallback_rungs)
     ladder = tuple(ladder)
     if not ladder:
         raise ValueError("ladder must name at least one rung")
-    unknown = [rung for rung in ladder if rung not in _RUNG_RUNNERS]
+    known = set(_RUNG_RUNNERS) | set(_registered_strategy_names())
+    unknown = [rung for rung in ladder if rung not in known]
     if unknown:
         raise ValueError(
             f"unknown ladder rung(s) {unknown}; expected a subset of "
-            f"{sorted(_RUNG_RUNNERS)}"
+            f"{sorted(known)}"
         )
 
     from .executor import resolve_backend  # deferred: engine-family import
@@ -524,10 +543,9 @@ def optimize_with_fallback(
                 share = remaining / rungs_left
             sub = budget.subbudget(share)
             started = time.perf_counter()
+            runner = _RUNG_RUNNERS.get(rung) or _make_strategy_rung(rung)
             try:
-                result = _RUNG_RUNNERS[rung](
-                    table, sub, counters, seed_order, opts
-                )
+                result = runner(table, sub, counters, seed_order, opts)
             except BudgetExceeded as exc:
                 attempts.append(RungAttempt(
                     rung=rung,
@@ -642,11 +660,11 @@ def _run_rung_sift(
     seed_order: Optional[Tuple[int, ...]],
     opts: Dict[str, Any],
 ) -> FallbackResult:
-    from ..bdd.reorder import sift
+    from ..portfolio import sift_search
     from .fs import terminal_values
 
     size_fn = _governed_size_fn(opts["rule"], opts["engine"], counters, sub)
-    result = sift(table, initial_order=seed_order, size_fn=size_fn)
+    result = sift_search(table, initial_order=seed_order, size_fn=size_fn)
     num_terminals = len(terminal_values(table, opts["rule"]))
     return FallbackResult(
         n=table.n,
@@ -667,11 +685,75 @@ _RUNG_RUNNERS: Dict[str, Callable[..., FallbackResult]] = {
 }
 
 
+def _registered_strategy_names() -> Tuple[str, ...]:
+    from ..portfolio import available_strategies  # deferred: cycle
+
+    return available_strategies()
+
+
+def _make_strategy_rung(name: str) -> Callable[..., FallbackResult]:
+    """Adapt a registered portfolio strategy into a ladder rung.
+
+    A strategy that exhausts its budget share raises
+    :class:`~repro.errors.BudgetExceeded` carrying its best-so-far
+    ordering and size, so the ladder can seed the next rung with it —
+    the same contract the built-in rungs honor."""
+
+    def run(
+        table: Any,
+        sub: Budget,
+        counters: OperationCounters,
+        seed_order: Optional[Tuple[int, ...]],
+        opts: Dict[str, Any],
+    ) -> FallbackResult:
+        from ..portfolio import run_strategy
+        from .engine import EngineConfig
+
+        config = EngineConfig(
+            kernel=opts["engine"],
+            jobs=opts["jobs"],
+            backend=opts["backend"],
+            frontier_store=opts["frontier_store"],
+            profiler=opts["profiler"],
+            cache=opts["cache"],
+        )
+        result = run_strategy(
+            name,
+            table,
+            rule=opts["rule"],
+            budget=sub,
+            counters=counters,
+            initial_order=seed_order,
+            config=config,
+        )
+        if result.status != "ok":
+            raise BudgetExceeded(
+                f"strategy rung {name!r} exhausted its budget share",
+                reason=result.budget_reason or "deadline",
+                best_order=result.order,
+                best_bound=result.size,
+            )
+        return FallbackResult(
+            n=table.n,
+            rule=opts["rule"],
+            order=result.order,
+            mincost=result.mincost,
+            num_terminals=result.num_terminals,
+            exact=False,
+            rung=name,
+            result=result,
+        )
+
+    return run
+
+
 def parse_ladder(spec: Union[str, Sequence[str], None]) -> Tuple[str, ...]:
     """Parse a CLI-style ladder spec (``"fs,window,sift"``) or sequence.
 
-    ``None`` yields :data:`DEFAULT_LADDER`; unknown rung names raise
-    :class:`~repro.errors.OrderingError` naming the valid ones.
+    ``None`` yields :data:`DEFAULT_LADDER`; valid rungs are the built-in
+    triple plus every registered :mod:`repro.portfolio` strategy name,
+    and unknown names raise :class:`~repro.errors.OrderingError` naming
+    the valid ones.
     """
     if spec is None:
         return DEFAULT_LADDER
@@ -681,10 +763,60 @@ def parse_ladder(spec: Union[str, Sequence[str], None]) -> Tuple[str, ...]:
         rungs = tuple(spec)
     if not rungs:
         raise OrderingError("fallback ladder must name at least one rung")
-    unknown = [rung for rung in rungs if rung not in _RUNG_RUNNERS]
+    known = set(_RUNG_RUNNERS) | set(_registered_strategy_names())
+    unknown = [rung for rung in rungs if rung not in known]
     if unknown:
         raise OrderingError(
             f"unknown fallback rung(s) {', '.join(unknown)}; valid rungs: "
-            f"{', '.join(sorted(_RUNG_RUNNERS))}"
+            f"{', '.join(sorted(known))}"
         )
     return rungs
+
+
+def optimize_with_fallback(
+    table: Any,
+    budget: Optional[Budget] = None,
+    ladder: Sequence[str] = DEFAULT_LADDER,
+    rule: ReductionRule = ReductionRule.BDD,
+    counters: Optional[OperationCounters] = None,
+    engine: str = "numpy",
+    jobs: int = 1,
+    backend: Any = "thread",
+    cache: Optional[Any] = None,
+    profiler: Optional[Profiler] = None,
+    window_width: int = 3,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    frontier_store: Any = "dict",
+    fallback_rungs: Union[str, Sequence[str], None] = None,
+) -> FallbackResult:
+    """Deprecated alias for :func:`run_ladder`.
+
+    Prefer ``repro.solve(problem, strategy="fallback", ...)`` for the
+    high-level API, or :func:`run_ladder` for direct ladder control.
+    Behavior is unchanged: this shim forwards every argument verbatim.
+    """
+    warnings.warn(
+        "optimize_with_fallback is deprecated; use "
+        "repro.solve(problem, strategy='fallback', ...) or "
+        "repro.core.budget.run_ladder",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_ladder(
+        table,
+        budget=budget,
+        ladder=ladder,
+        rule=rule,
+        counters=counters,
+        engine=engine,
+        jobs=jobs,
+        backend=backend,
+        cache=cache,
+        profiler=profiler,
+        window_width=window_width,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        frontier_store=frontier_store,
+        fallback_rungs=fallback_rungs,
+    )

@@ -895,7 +895,7 @@ def optimize_many(
         with it, the item degrades through the ladder instead.
     ``fallback``
         A ladder spec (``"fs,window,sift"`` or a sequence) handed to
-        :func:`~repro.core.budget.optimize_with_fallback`; items whose
+        :func:`~repro.core.budget.run_ladder`; items whose
         ordering came from a rung below the first are tagged
         ``"fallback"``.
     ``budget``
@@ -914,8 +914,8 @@ def optimize_many(
         their next layer boundary — final checkpoints and cache writes
         already flushed — instead of dying mid-write.
     """
-    from .budget import Budget, handle_signals, optimize_with_fallback, \
-        parse_ladder  # deferred: budget's ladder imports .fs
+    from .budget import Budget, handle_signals, parse_ladder, \
+        run_ladder  # deferred: budget's ladder imports .fs
     from .executor import ExecutorBackend, resolve_backend
     from .fs import run_fs  # deferred: fs imports this module
 
@@ -991,7 +991,7 @@ def optimize_many(
         sub = item_budget()
         try:
             if ladder is not None:
-                outcome = optimize_with_fallback(
+                outcome = run_ladder(
                     tables[index],
                     budget=sub,
                     ladder=ladder,

@@ -252,6 +252,17 @@ class EngineConfig:
     ``OSError`` only — validation failures never retry); retries tally
     the ``retries`` extra counter."""
 
+    strategy: str = "exact"
+    """Which solve strategy this config selects (the ``repro.solve``
+    ``strategy=`` axis): ``"exact"`` for the FS dynamic program,
+    ``"fallback"`` for the degradation ladder
+    (:func:`repro.core.budget.run_ladder`), ``"portfolio"`` to race every
+    registered heuristic (:func:`repro.portfolio.run_portfolio`), or any
+    single registered strategy name (:func:`repro.portfolio
+    .available_strategies`).  The engine itself only ever executes exact
+    sweeps; this field is carried so config-driven entry points dispatch
+    consistently."""
+
     def __post_init__(self) -> None:
         self.frontier = coerce_policy(self.frontier)
         if self.jobs < 1:
@@ -276,6 +287,11 @@ class EngineConfig:
                 f"backend must be a registered name {available_backends()} "
                 f"or an ExecutorBackend instance, got {self.backend!r}"
             )
+        if self.strategy not in ("exact", "fallback", "portfolio"):
+            # Deferred: repro.portfolio imports this module at top level.
+            from ..portfolio import get_strategy
+
+            get_strategy(self.strategy)  # raises OrderingError if unknown
 
 
 _Entry = Union[FSState, Skeleton]

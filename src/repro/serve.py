@@ -31,8 +31,15 @@ pipeline.  Operations:
     ``constrained`` (give ``precedence`` pairs) / ``window`` (optional
     ``width`` / ``max_rounds`` / ``initial_order``).  Optional
     ``timeout`` (seconds, clamped to the server's ``default_timeout``)
-    and ``priority`` (lower runs first).  ``fs_star`` is not servable —
-    its problem is a live ``FSState``, which does not travel as JSON.
+    and ``priority`` (lower runs first).  ``fs`` requests additionally
+    take ``strategy`` (``"exact"`` default / ``"fallback"`` /
+    ``"portfolio"`` / a registered strategy name — see
+    :mod:`repro.portfolio`), ``seed`` (stochastic members) and
+    ``strategies`` (portfolio member subset); non-exact strategies are
+    never coalesced and their per-strategy tallies surface in
+    ``metrics`` (``strategy_solves`` / ``portfolio_wins``).  ``fs_star``
+    is not servable — its problem is a live ``FSState``, which does not
+    travel as JSON.
 ``{"op": "solve_many", "items": [{...}, {...}], ...}``
     Batch solve: a manifest of solve specs in one request.  Items are
     fingerprinted and deduplicated *before* queueing (the
@@ -42,9 +49,9 @@ pipeline.  Operations:
     bit-identical to N individual ``solve`` calls plus a parallel
     ``statuses`` list (``ok`` / ``cached`` / ``coalesced`` /
     ``fallback`` / ``error``) and a ``summary``.  Batch-level
-    ``method`` / ``rule`` / ``fallback`` are inherited by items that do
-    not set their own; item-level ``timeout`` is rejected (the batch
-    shares one budget).
+    ``method`` / ``rule`` / ``fallback`` / ``strategy`` / ``seed`` /
+    ``strategies`` are inherited by items that do not set their own;
+    item-level ``timeout`` is rejected (the batch shares one budget).
 ``{"op": "metrics"}``
     The observability counters (merged
     :class:`~repro.analysis.counters.OperationCounters` across every
@@ -272,7 +279,15 @@ class ServerMetrics:
     freshly warmed one (each swap failed exactly one in-flight request
     with a retryable 503 ``BackendRestarting``)."""
 
-    def snapshot(self) -> Dict[str, int]:
+    strategy_solves: Dict[str, int] = field(default_factory=dict)
+    """Completed solves per non-exact ``strategy`` value (``fallback``,
+    ``portfolio``, or a registered strategy name)."""
+
+    portfolio_wins: Dict[str, int] = field(default_factory=dict)
+    """For ``strategy="portfolio"`` solves: how often each registered
+    member produced the winning ordering."""
+
+    def snapshot(self) -> Dict[str, Any]:
         return {
             "received": self.received,
             "completed": self.completed,
@@ -288,6 +303,8 @@ class ServerMetrics:
             "batch_items": self.batch_items,
             "batch_deduped": self.batch_deduped,
             "backend_restarts": self.backend_restarts,
+            "strategy_solves": dict(sorted(self.strategy_solves.items())),
+            "portfolio_wins": dict(sorted(self.portfolio_wins.items())),
         }
 
 
@@ -332,20 +349,35 @@ class _Prepared:
     solve_kwargs: Dict[str, Any] = field(default_factory=dict)
     fallback: Optional[Tuple[str, ...]] = None
     """Parsed ``fallback`` ladder (``fs`` only): run through
-    ``optimize_with_fallback`` so a budget abort degrades to the next
-    rung instead of failing the item."""
+    :func:`repro.core.budget.run_ladder` so a budget abort degrades to
+    the next rung instead of failing the item."""
 
     budget: Optional[Budget] = None
     """Pre-made subbudget (batch items share one); ``None`` means
     ``_execute`` derives a fresh per-request subbudget."""
 
+    strategy: str = "exact"
+    """The request's ``strategy`` field (``fs`` only): ``"exact"``,
+    ``"fallback"``, ``"portfolio"`` or a registered strategy name; a
+    legacy ``fallback`` ladder with no explicit strategy maps to
+    ``"fallback"``."""
+
+    strategy_seed: int = 0
+    """RNG seed for stochastic portfolio members."""
+
+    strategies: Optional[Tuple[str, ...]] = None
+    """Portfolio member subset (``strategy="portfolio"`` only)."""
+
     @property
     def dedup_key(self) -> Optional[str]:
-        """Single-flight / batch-dedup identity.  Ladder'd items are not
-        coalesced: their governed degradation path makes 'the same
-        function' not 'the same outcome', so propagating a leader's
-        terminal status across them would be wrong."""
-        return self.fingerprint if self.fallback is None else None
+        """Single-flight / batch-dedup identity.  Ladder'd and
+        strategy'd items are not coalesced: their governed degradation
+        path makes 'the same function' not 'the same outcome', so
+        propagating a leader's terminal status across them would be
+        wrong."""
+        if self.fallback is not None or self.strategy != "exact":
+            return None
+        return self.fingerprint
 
 
 def _parse_values(spec: Any, n: Optional[int]) -> TruthTable:
@@ -917,6 +949,13 @@ class OrderingServer:
             and rung != prepared.fallback[0]
         ):
             return "fallback"
+        if (
+            prepared.strategy == "fallback"
+            and not prepared.fallback
+            and result.get("exact") is False
+        ):
+            # Default-ladder strategy solve that degraded below 'fs'.
+            return "fallback"
         return "ok"
 
     async def _process_batch(
@@ -966,7 +1005,8 @@ class OrderingServer:
             shared_budget = self.parent_budget.subbudget(timeout)
             inherited = {
                 key: payload[key]
-                for key in ("method", "rule", "fallback")
+                for key in ("method", "rule", "fallback", "strategy",
+                            "seed", "strategies")
                 if key in payload
             }
             bodies: List[Optional[Dict[str, Any]]] = [None] * len(items)
@@ -1163,6 +1203,54 @@ class OrderingServer:
                 fallback = parse_ladder(fallback)
             except (ReproError, ValueError, TypeError) as exc:
                 raise ReproError(f"bad 'fallback' ladder: {exc}") from None
+        strategy = str(payload.get("strategy", "exact"))
+        if payload.get("strategy") is None and fallback is not None:
+            # Legacy spelling: a bare ladder means strategy="fallback".
+            strategy = "fallback"
+        if strategy != "exact":
+            if method != "fs":
+                raise ReproError(
+                    "'strategy' is only supported for method 'fs'"
+                )
+            if strategy not in ("fallback", "portfolio"):
+                from .portfolio import get_strategy
+
+                try:
+                    get_strategy(strategy)
+                except ReproError as exc:
+                    raise ReproError(str(exc)) from None
+        if fallback is not None and strategy != "fallback":
+            raise ReproError(
+                "'fallback' (a degradation ladder) only combines with "
+                "strategy 'fallback'"
+            )
+        try:
+            strategy_seed = int(payload.get("seed", 0))
+        except (TypeError, ValueError):
+            raise ReproError(
+                f"'seed' must be an integer, got {payload.get('seed')!r}"
+            ) from None
+        strategies_field = payload.get("strategies")
+        strategies: Optional[Tuple[str, ...]] = None
+        if strategies_field is not None:
+            if strategy != "portfolio":
+                raise ReproError(
+                    "'strategies' (a portfolio member subset) requires "
+                    "strategy 'portfolio'"
+                )
+            if not isinstance(strategies_field, list) or not strategies_field:
+                raise ReproError(
+                    "'strategies' must be a non-empty list of registered "
+                    "strategy names"
+                )
+            strategies = tuple(str(name) for name in strategies_field)
+            from .portfolio import get_strategy
+
+            for name in strategies:
+                try:
+                    get_strategy(name)
+                except ReproError as exc:
+                    raise ReproError(str(exc)) from None
         timeout = payload.get("timeout")
         if timeout is not None:
             timeout = float(timeout)
@@ -1182,6 +1270,9 @@ class OrderingServer:
             fingerprint=fingerprint,
             solve_kwargs=solve_kwargs,
             fallback=fallback,
+            strategy=strategy,
+            strategy_seed=strategy_seed,
+            strategies=strategies,
         )
 
     def _execute(self, prepared: _Prepared) -> Dict[str, Any]:
@@ -1199,27 +1290,26 @@ class OrderingServer:
         started = time.perf_counter()
         rung: Optional[str] = None
         try:
-            if prepared.fallback is not None:
-                from .core.budget import optimize_with_fallback
-
-                outcome = optimize_with_fallback(
+            if prepared.strategy != "exact":
+                solution = solve(
                     prepared.problem,
-                    budget=sub,
-                    ladder=prepared.fallback,
+                    method=prepared.method,
+                    strategy=prepared.strategy,
+                    strategies=prepared.strategies,
+                    fallback_rungs=(
+                        prepared.fallback
+                        if prepared.strategy == "fallback" else None
+                    ),
+                    seed=prepared.strategy_seed,
                     rule=prepared.rule,
                     engine=config.engine,
                     jobs=config.jobs,
                     backend=backend,
-                    cache=self.cache,
                     frontier_store=config.frontier_store,
+                    cache=self.cache,
+                    budget=sub,
                 )
-                rung = outcome.rung
-                solution = OrderingSolution(
-                    method=prepared.method, n=outcome.n, rule=prepared.rule,
-                    order=tuple(outcome.order), mincost=outcome.mincost,
-                    exact=outcome.exact, counters=outcome.counters,
-                    num_terminals=outcome.num_terminals, result=outcome,
-                )
+                rung = solution.rung
             else:
                 solution = solve(
                     prepared.problem,
@@ -1278,6 +1368,12 @@ class OrderingServer:
                 self.metrics.cache_hit_solves += 1
             else:
                 self.metrics.kernel_sweeps += 1
+            if prepared.strategy != "exact":
+                tally = self.metrics.strategy_solves
+                tally[prepared.strategy] = tally.get(prepared.strategy, 0) + 1
+                if prepared.strategy == "portfolio" and rung is not None:
+                    wins = self.metrics.portfolio_wins
+                    wins[rung] = wins.get(rung, 0) + 1
         result = solution.to_wire()
         result["elapsed_seconds"] = round(elapsed, 6)
         if rung is not None:
